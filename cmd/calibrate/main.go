@@ -1,0 +1,89 @@
+// Command calibrate runs the calibration workflow (Figure 4) for one state:
+// an LHS prior design simulated with EpiHiper, a GP-emulator Bayesian fit
+// against the surveillance ground truth, and a posterior design written as
+// CSV — the model configurations the prediction workflow consumes.
+//
+// Usage:
+//
+//	calibrate -state VA -cells 100 -days 70 -scale 20000 -out posterior.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	state := flag.String("state", "VA", "region postal code")
+	cells := flag.Int("cells", 100, "prior design size")
+	days := flag.Int("days", 70, "calibration horizon")
+	scale := flag.Int("scale", 20000, "population scale (1:N)")
+	seed := flag.Uint64("seed", 2020, "random seed")
+	steps := flag.Int("steps", 1200, "MCMC steps")
+	out := flag.String("out", "", "posterior CSV path (omit for stdout summary only)")
+	flag.Parse()
+
+	p := core.NewPipeline(*seed, core.WithScale(*scale))
+	fmt.Printf("calibration workflow: %s, %d cells, %d days, scale 1:%d\n",
+		*state, *cells, *days, *scale)
+
+	res, err := p.RunCalibrationWorkflow(core.CalibrationConfig{
+		State: *state, Cells: *cells, Days: *days, Steps: *steps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsimulated %d prior cells; MCMC acceptance %.2f\n", len(res.Sims), res.AcceptRate)
+	summarize := func(name string, get func(core.Params) float64) {
+		prior := make([]float64, len(res.Prior))
+		post := make([]float64, len(res.Posterior))
+		for i, pr := range res.Prior {
+			prior[i] = get(pr)
+		}
+		for i, pr := range res.Posterior {
+			post[i] = get(pr)
+		}
+		fmt.Printf("  %-5s prior mean %.3f sd %.3f → posterior mean %.3f sd %.3f\n",
+			name, stats.Mean(prior), stats.StdDev(prior), stats.Mean(post), stats.StdDev(post))
+	}
+	summarize("TAU", func(p core.Params) float64 { return p.TAU })
+	summarize("SYMP", func(p core.Params) float64 { return p.SYMP })
+	summarize("SH", func(p core.Params) float64 { return p.SHCompliance })
+	summarize("VHI", func(p core.Params) float64 { return p.VHICompliance })
+
+	// Figure 15's headline: TAU–SYMP posterior correlation.
+	tau := make([]float64, len(res.Posterior))
+	symp := make([]float64, len(res.Posterior))
+	for i, pr := range res.Posterior {
+		tau[i], symp[i] = pr.TAU, pr.SYMP
+	}
+	fmt.Printf("  posterior corr(TAU, SYMP) = %.3f (paper: negative)\n", stats.Correlation(tau, symp))
+
+	// Figure 16's check: ground truth inside the emulator band at the MAP.
+	if len(res.Posterior) > 0 {
+		cov := res.Calibrator.CoverageFraction([]float64{
+			res.Posterior[0].TAU, res.Posterior[0].SYMP,
+			res.Posterior[0].SHCompliance, res.Posterior[0].VHICompliance,
+		})
+		fmt.Printf("  emulator 95%%-band coverage of ground truth: %.0f%%\n", 100*cov)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "tau,symp,sh_compliance,vhi_compliance")
+		for _, pr := range res.Posterior {
+			fmt.Fprintf(f, "%g,%g,%g,%g\n", pr.TAU, pr.SYMP, pr.SHCompliance, pr.VHICompliance)
+		}
+		fmt.Printf("wrote %d posterior configurations to %s\n", len(res.Posterior), *out)
+	}
+}

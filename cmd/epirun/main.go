@@ -1,0 +1,167 @@
+// Command epirun executes one ⟨cell, region⟩ EpiHiper simulation and writes
+// the raw transition log and the county-level summary to files — the unit
+// of work the nightly pipeline schedules thousands of times.
+//
+// Usage:
+//
+//	epirun -state VA -days 90 -tau 0.25 -symp 0.65 -sh 0.45 -vhi 0.5 \
+//	       -scale 5000 -seed 42 -out /tmp/va
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disease"
+	"repro/internal/epihiper"
+	"repro/internal/output"
+	"repro/internal/synthpop"
+	"repro/internal/transfer"
+)
+
+func main() {
+	state := flag.String("state", "VA", "region postal code")
+	days := flag.Int("days", 90, "simulation horizon in days")
+	tau := flag.Float64("tau", 0.18, "disease transmissibility (TAU)")
+	symp := flag.Float64("symp", 0.65, "symptomatic fraction (SYMP)")
+	sh := flag.Float64("sh", 0.45, "stay-at-home compliance")
+	vhi := flag.Float64("vhi", 0.5, "voluntary home isolation compliance")
+	shStart := flag.Int("sh-start", 15, "stay-at-home start day")
+	scale := flag.Int("scale", 5000, "population scale (1:N)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	par := flag.Int("par", 4, "processing units (partitions)")
+	outDir := flag.String("out", "", "output directory (omit to skip files)")
+	configPath := flag.String("config", "", "JSON simulation configuration (overrides the individual flags; see internal/epihiper JSONConfig)")
+	flag.Parse()
+
+	var jsonCfg *epihiper.JSONConfig
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jsonCfg, err = epihiper.ParseJSONConfig(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*state = jsonCfg.Region
+		*days = jsonCfg.Days
+		if jsonCfg.Seed != 0 {
+			*seed = jsonCfg.Seed
+		}
+		if jsonCfg.Parallelism > 0 {
+			*par = jsonCfg.Parallelism
+		}
+	}
+
+	st, err := synthpop.StateByCode(*state)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generating %s network at 1:%d scale...\n", st.Name, *scale)
+	cfg := synthpop.DefaultConfig(*seed)
+	cfg.Scale = *scale
+	net, err := synthpop.Generate(st, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d persons, %d contact edges (mean degree %.1f)\n",
+		net.NumNodes(), net.NumEdges(), net.MeanDegree())
+
+	pr := core.Params{TAU: *tau, SYMP: *symp, SHCompliance: *sh, VHICompliance: *vhi}
+	model, err := pr.ApplyToModel(disease.COVID19())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	logRec := &output.TransitionLog{}
+	agg := output.NewCountyAggregator(net, *days)
+	byCounty := map[int32]int{}
+	for _, p := range net.Persons {
+		byCounty[p.CountyFIPS]++
+	}
+	var seedCounty int32
+	best := 0
+	for c, n := range byCounty {
+		if n > best {
+			seedCounty, best = c, n
+		}
+	}
+	var simCfg epihiper.Config
+	if jsonCfg != nil {
+		simCfg, err = jsonCfg.Build(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(simCfg.Seeds) == 0 && len(simCfg.SeedPersons) == 0 {
+			simCfg.Seeds = []epihiper.Seeding{{CountyFIPS: seedCounty, Day: 0, Count: 5}}
+		}
+	} else {
+		simCfg = epihiper.Config{
+			Model: model, Network: net, Days: *days,
+			Parallelism: *par, Seed: *seed,
+			Seeds: []epihiper.Seeding{{CountyFIPS: seedCounty, Day: 0, Count: 5}},
+			Interventions: []epihiper.Intervention{
+				&epihiper.VoluntaryHomeIsolation{Compliance: *vhi, IsolationDays: 14},
+				&epihiper.SchoolClosure{StartDay: *shStart, EndDay: *days},
+				&epihiper.StayAtHome{StartDay: *shStart + 15, EndDay: *days, Compliance: *sh},
+			},
+		}
+	}
+	simCfg.Recorder = epihiper.MultiRecorder{logRec, agg}
+	sim, err := epihiper.New(simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nsimulated %d days in %v (%d processing units)\n", *days, elapsed, *par)
+	fmt.Printf("  total infections: %d (attack rate %.1f%%)\n",
+		res.TotalInfections, 100*epihiper.Attack(res, net.NumNodes()))
+	conf := agg.StateConfirmedCumulative()
+	fmt.Printf("  cumulative confirmed: %.0f\n", conf[len(conf)-1])
+	fmt.Printf("  deaths: %d\n", sim.CumulativeCount(disease.Dead))
+	fmt.Printf("  transitions logged: %d (raw %s at this scale, ≈%s at 1:1)\n",
+		len(logRec.Entries), transfer.HumanBytes(logRec.RawBytes()),
+		transfer.HumanBytes(logRec.RawBytes()*int64(*scale)))
+	fmt.Printf("  peak modeled memory: %s\n", transfer.HumanBytes(res.PeakMemoryBytes))
+
+	dend := output.BuildDendogram(logRec, disease.Exposed)
+	fmt.Printf("  dendogram: %d trees, %d infected, depth %d\n",
+		len(dend.Roots), dend.Size(), dend.Depth())
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		rawPath := filepath.Join(*outDir, "transitions.csv")
+		f, err := os.Create(rawPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := logRec.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		sumPath := filepath.Join(*outDir, "summary.csv")
+		g, err := os.Create(sumPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := agg.WriteSummaryCSV(g); err != nil {
+			log.Fatal(err)
+		}
+		g.Close()
+		fmt.Printf("  wrote %s and %s\n", rawPath, sumPath)
+	}
+}

@@ -1,0 +1,287 @@
+// Package cluster simulates the two HPC systems of the paper (Table II) —
+// the remote super-computing cluster (Bridges, PSC) and the home cluster
+// (Rivanna, UVA) — and executes packed workloads on them with a Slurm-like
+// discrete-event scheduler. Two execution policies reproduce the paper's
+// Figure 9 comparison: LevelSync replays a level packing with a barrier
+// after every level (how the initial NFDT-DC workflows ran as dependent job
+// arrays), while Backfill is work-conserving — a queued task starts the
+// moment enough nodes and database connections are free, Slurm's "certain
+// amount of real-time optimization" on top of the FFDT-DC ordering.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// Spec is a cluster configuration (the rows of Table II).
+type Spec struct {
+	Name         string
+	Nodes        int
+	CPUsPerNode  int
+	CoresPerCPU  int
+	RAMPerNodeGB int
+	CPU          string
+	Network      string
+	Filesystem   string
+}
+
+// TotalCores returns nodes × CPUs × cores.
+func (s Spec) TotalCores() int { return s.Nodes * s.CPUsPerNode * s.CoresPerCPU }
+
+// Bridges returns the remote super-computing cluster of Table II: 720
+// allocated nodes, 2 × 14-core Haswell CPUs and 128 GB per node — the
+// "over 20,000 cores" dedicated nightly.
+func Bridges() Spec {
+	return Spec{
+		Name: "Bridges (PSC)", Nodes: 720, CPUsPerNode: 2, CoresPerCPU: 14,
+		RAMPerNodeGB: 128, CPU: "Intel Haswell E5-2695 v3",
+		Network: "Intel Omnipath-1", Filesystem: "Lustre",
+	}
+}
+
+// Rivanna returns the home cluster of Table II: 50 nodes, 2 × 20-core Xeon
+// Gold CPUs and 384 GB per node.
+func Rivanna() Spec {
+	return Spec{
+		Name: "Rivanna (UVA)", Nodes: 50, CPUsPerNode: 2, CoresPerCPU: 20,
+		RAMPerNodeGB: 384, CPU: "Intel Xeon Gold 6148",
+		Network: "Mellanox ConnectX-5", Filesystem: "Lustre",
+	}
+}
+
+// Window is the nightly access window (10 pm to 8 am in the paper).
+type Window struct {
+	StartHour, EndHour int
+}
+
+// NightlyWindow returns the paper's 22:00–08:00 window.
+func NightlyWindow() Window { return Window{StartHour: 22, EndHour: 8} }
+
+// Hours returns the window length in hours.
+func (w Window) Hours() int {
+	h := w.EndHour - w.StartHour
+	if h <= 0 {
+		h += 24
+	}
+	return h
+}
+
+// Seconds returns the window length in seconds.
+func (w Window) Seconds() float64 { return float64(w.Hours()) * 3600 }
+
+// TaskRecord is one executed task with its realized interval.
+type TaskRecord struct {
+	Task       sched.Task
+	Start, End float64
+}
+
+// ExecResult summarizes an executed workload.
+type ExecResult struct {
+	Records []TaskRecord
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// Utilization is the paper's EC metric: busy node-time over
+	// (allocated nodes × makespan).
+	Utilization float64
+	// Unstarted lists tasks that could not begin within the deadline
+	// (zero deadline = unlimited).
+	Unstarted []sched.Task
+}
+
+// MeanWait returns the average task start time — the queueing delay a
+// submitted simulation experiences, the timeliness metric behind the
+// paper's "reducing the time span required to execute a given set of
+// jobs".
+func (r *ExecResult) MeanWait() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, rec := range r.Records {
+		s += rec.Start
+	}
+	return s / float64(len(r.Records))
+}
+
+// MaxWait returns the longest start delay.
+func (r *ExecResult) MaxWait() float64 {
+	max := 0.0
+	for _, rec := range r.Records {
+		if rec.Start > max {
+			max = rec.Start
+		}
+	}
+	return max
+}
+
+// ExecuteLevelSync replays a level packing with a barrier after each level:
+// all tasks of level i run concurrently starting when level i−1 completes.
+// Tasks whose level would end past the deadline are not started.
+func ExecuteLevelSync(s *sched.Schedule, deadline float64) ExecResult {
+	var res ExecResult
+	start := 0.0
+	busy := 0.0
+	for _, l := range s.Levels {
+		if deadline > 0 && start+l.Height > deadline {
+			for _, t := range l.Tasks {
+				res.Unstarted = append(res.Unstarted, t)
+			}
+			continue
+		}
+		for _, t := range l.Tasks {
+			res.Records = append(res.Records, TaskRecord{Task: t, Start: start, End: start + t.Time})
+			busy += t.Time * float64(t.Nodes)
+		}
+		start += l.Height
+	}
+	res.Makespan = start
+	if s.TotalNodes > 0 && res.Makespan > 0 {
+		res.Utilization = busy / (res.Makespan * float64(s.TotalNodes))
+	}
+	return res
+}
+
+// ExecuteBackfill runs an ordered task list on the cluster with
+// work-conserving backfill: at every scheduling point the queue is scanned
+// in order and every task that fits (free nodes, per-region DB bound,
+// deadline) is started. Order is the packing's flattened (level, position)
+// sequence — for FFDT-DC, non-increasing time.
+func ExecuteBackfill(tasks []sched.Task, c sched.Constraints, deadline float64) (ExecResult, error) {
+	if c.TotalNodes <= 0 {
+		return ExecResult{}, fmt.Errorf("cluster: non-positive node count")
+	}
+	for _, t := range tasks {
+		if t.Nodes <= 0 || t.Nodes > c.TotalNodes {
+			return ExecResult{}, fmt.Errorf("cluster: task %+v cannot fit on %d nodes", t, c.TotalNodes)
+		}
+	}
+	type running struct {
+		end  float64
+		task sched.Task
+	}
+	var res ExecResult
+	queue := append([]sched.Task(nil), tasks...)
+	pending := make([]bool, len(queue))
+	for i := range pending {
+		pending[i] = true
+	}
+	remaining := len(queue)
+	free := c.TotalNodes
+	regionRunning := map[string]int{}
+	var active []running
+	now := 0.0
+	busy := 0.0
+
+	for remaining > 0 || len(active) > 0 {
+		// Start everything that fits, scanning the queue in order.
+		startedAny := false
+		for i := range queue {
+			if !pending[i] {
+				continue
+			}
+			t := queue[i]
+			if t.Nodes > free {
+				continue
+			}
+			if bound, ok := c.DBBound[t.Region]; ok && regionRunning[t.Region] >= bound {
+				continue
+			}
+			if deadline > 0 && now+t.Time > deadline {
+				pending[i] = false
+				remaining--
+				res.Unstarted = append(res.Unstarted, t)
+				continue
+			}
+			pending[i] = false
+			remaining--
+			free -= t.Nodes
+			regionRunning[t.Region]++
+			active = append(active, running{end: now + t.Time, task: t})
+			res.Records = append(res.Records, TaskRecord{Task: t, Start: now, End: now + t.Time})
+			busy += t.Time * float64(t.Nodes)
+			startedAny = true
+		}
+		if len(active) == 0 {
+			if !startedAny && remaining > 0 {
+				// Nothing runnable and nothing running: all remaining
+				// tasks are blocked by the deadline (handled above) —
+				// defensive break against malformed bounds.
+				for i := range queue {
+					if pending[i] {
+						res.Unstarted = append(res.Unstarted, queue[i])
+					}
+				}
+				break
+			}
+			continue
+		}
+		// Advance to the earliest completion.
+		sort.Slice(active, func(a, b int) bool { return active[a].end < active[b].end })
+		now = active[0].end
+		for len(active) > 0 && active[0].end <= now {
+			done := active[0]
+			active = active[1:]
+			free += done.task.Nodes
+			regionRunning[done.task.Region]--
+		}
+		if now > res.Makespan {
+			res.Makespan = now
+		}
+	}
+	if res.Makespan > 0 {
+		res.Utilization = busy / (res.Makespan * float64(c.TotalNodes))
+	}
+	return res, nil
+}
+
+// FlattenSchedule returns the packing's tasks in (level, position) order —
+// the submission order handed to the executor.
+func FlattenSchedule(s *sched.Schedule) []sched.Task {
+	var out []sched.Task
+	for _, l := range s.Levels {
+		out = append(out, l.Tasks...)
+	}
+	return out
+}
+
+// ValidateExecution checks an ExecResult against the constraints: at no
+// instant do running tasks exceed the node count or any region's DB bound,
+// and no task interval overlaps the deadline.
+func ValidateExecution(res ExecResult, c sched.Constraints, deadline float64) error {
+	type event struct {
+		t     float64
+		nodes int // positive at start, negative at end
+		reg   string
+		d     int
+	}
+	var events []event
+	for _, r := range res.Records {
+		if deadline > 0 && r.End > deadline+1e-9 {
+			return fmt.Errorf("cluster: task %+v ends at %g past deadline %g", r.Task, r.End, deadline)
+		}
+		events = append(events, event{t: r.Start, nodes: r.Task.Nodes, reg: r.Task.Region, d: 1})
+		events = append(events, event{t: r.End, nodes: -r.Task.Nodes, reg: r.Task.Region, d: -1})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].d < events[b].d // process ends before starts at ties
+	})
+	nodes := 0
+	perRegion := map[string]int{}
+	for _, e := range events {
+		nodes += e.nodes
+		perRegion[e.reg] += e.d
+		if nodes > c.TotalNodes {
+			return fmt.Errorf("cluster: %d nodes in use at t=%g (limit %d)", nodes, e.t, c.TotalNodes)
+		}
+		if bound, ok := c.DBBound[e.reg]; ok && perRegion[e.reg] > bound {
+			return fmt.Errorf("cluster: region %s has %d concurrent tasks at t=%g (bound %d)", e.reg, perRegion[e.reg], e.t, bound)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/transfer"
+)
+
+// WorkflowKind identifies a Table I workflow family.
+type WorkflowKind int
+
+// The three Table I workflow families.
+const (
+	Economic WorkflowKind = iota
+	Prediction
+	Calibration
+)
+
+func (k WorkflowKind) String() string {
+	switch k {
+	case Economic:
+		return "Economic"
+	case Prediction:
+		return "Prediction"
+	case Calibration:
+		return "Calibration"
+	default:
+		return fmt.Sprintf("WorkflowKind(%d)", int(k))
+	}
+}
+
+// WorkflowSpec is a Table I row: the scale of one workflow family.
+type WorkflowSpec struct {
+	Kind       WorkflowKind
+	Cells      int
+	States     int
+	Replicates int
+	// RawBytesPerSim and SummaryBytesPerSim model the 1:1-scale output
+	// volume (Table I: raw 3.0TB/9180 ≈ 340MB per simulation for the
+	// economic workflow; summaries a few hundred KB).
+	RawBytesPerSim     int64
+	SummaryBytesPerSim int64
+}
+
+// Simulations returns cells × states × replicates.
+func (w WorkflowSpec) Simulations() int { return w.Cells * w.States * w.Replicates }
+
+// RawBytes returns the total raw output estimate.
+func (w WorkflowSpec) RawBytes() int64 { return int64(w.Simulations()) * w.RawBytesPerSim }
+
+// SummaryBytes returns the total summarized output estimate.
+func (w WorkflowSpec) SummaryBytes() int64 { return int64(w.Simulations()) * w.SummaryBytesPerSim }
+
+// TableI returns the paper's three representative workflows with their
+// published scales: Economic 12×51×15 (9180 sims, 3.0TB raw / 5.0GB
+// summary), Prediction 12×51×15 (9180, 1.0TB / 2.5GB), Calibration
+// 300×51×1 (15300, 5.0TB / 4.0GB).
+func TableI() []WorkflowSpec {
+	return []WorkflowSpec{
+		{Kind: Economic, Cells: 12, States: 51, Replicates: 15,
+			RawBytesPerSim:     3 * transfer.TB / 9180,
+			SummaryBytesPerSim: 5 * transfer.GB / 9180},
+		{Kind: Prediction, Cells: 12, States: 51, Replicates: 15,
+			RawBytesPerSim:     1 * transfer.TB / 9180,
+			SummaryBytesPerSim: 5 * transfer.GB / 2 / 9180},
+		{Kind: Calibration, Cells: 300, States: 51, Replicates: 1,
+			RawBytesPerSim:     5 * transfer.TB / 15300,
+			SummaryBytesPerSim: 4 * transfer.GB / 15300},
+	}
+}
+
+// NightConfig assembles one night on the remote cluster.
+type NightConfig struct {
+	Spec WorkflowSpec
+	// Heuristic selects the packing: "FFDT-DC" (default) or "NFDT-DC".
+	Heuristic string
+	// Seed adds night-to-night task-time noise.
+	Seed uint64
+	Day  int
+}
+
+// NightReport summarizes one simulated night (the Figure 9 data points).
+type NightReport struct {
+	Config      NightConfig
+	Tasks       int
+	Makespan    float64
+	Utilization float64
+	// FitsWindow reports whether everything completed inside 10 hours.
+	FitsWindow bool
+	Unstarted  int
+	// ConfigBytes / SummaryBytes / RawBytes are the night's data volumes
+	// at 1:1 scale (Table I / Table II accounting).
+	ConfigBytes, SummaryBytes, RawBytes int64
+}
+
+// RunNight simulates one night of the given workflow on the remote
+// cluster: build the ⟨cell, region⟩ tasks with the empirical time model,
+// pack with the chosen heuristic, execute (level-synchronous for NFDT-DC,
+// backfilled for FFDT-DC — how the respective production configurations
+// ran), and account the data movement.
+func (p *Pipeline) RunNight(cfg NightConfig) (*NightReport, error) {
+	// Counter-factual and prediction designs sweep intervention
+	// complexity (up to the ≈4× D2CT factor of Figure 7); calibration
+	// cells sweep disease parameters on a fixed mitigation schedule, so
+	// their run times spread far less.
+	ivSpread := 4.0
+	if cfg.Spec.Kind == Calibration {
+		ivSpread = 1.4
+	}
+	w := sched.Workload{
+		Cells:                 cfg.Spec.Cells,
+		Replicates:            cfg.Spec.Replicates,
+		Time:                  sched.DefaultTimeModel(),
+		MaxInterventionFactor: ivSpread,
+	}
+	tasks := w.Tasks(stats.NewRNG(cfg.Seed))
+	constraints := sched.Constraints{
+		TotalNodes: p.Remote.Nodes,
+		DBBound:    sched.DefaultDBBounds(p.DBConnBound),
+	}
+	deadline := p.Window.Seconds()
+	report := &NightReport{Config: cfg, Tasks: len(tasks)}
+
+	var exec cluster.ExecResult
+	switch cfg.Heuristic {
+	case "", "FFDT-DC":
+		s, err := sched.FFDTDC(tasks, constraints)
+		if err != nil {
+			return nil, err
+		}
+		exec, err = cluster.ExecuteBackfill(cluster.FlattenSchedule(s), constraints, deadline)
+		if err != nil {
+			return nil, err
+		}
+	case "NFDT-DC":
+		s, err := sched.NFDTDC(tasks, constraints)
+		if err != nil {
+			return nil, err
+		}
+		exec = cluster.ExecuteLevelSync(s, deadline)
+	default:
+		return nil, fmt.Errorf("core: unknown heuristic %q", cfg.Heuristic)
+	}
+	report.Makespan = exec.Makespan
+	report.Utilization = exec.Utilization
+	report.Unstarted = len(exec.Unstarted)
+	report.FitsWindow = len(exec.Unstarted) == 0 && exec.Makespan <= deadline
+
+	// Data accounting: configs out, summaries back; raw output stays on
+	// the remote filesystem (Table II).
+	// Each executed task is one simulation (tasks are per-replicate).
+	completed := int64(len(exec.Records))
+	report.ConfigBytes = int64(len(tasks)) * 580 * transfer.KB
+	report.SummaryBytes = completed * cfg.Spec.SummaryBytesPerSim
+	report.RawBytes = completed * cfg.Spec.RawBytesPerSim
+	if _, err := p.Ledger.Move(cfg.Day, transfer.HomeToRemote, "night-configs", report.ConfigBytes); err != nil {
+		return nil, err
+	}
+	if _, err := p.Ledger.Move(cfg.Day, transfer.RemoteToHome, "night-summaries", report.SummaryBytes); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// RunNights executes a workload across consecutive nightly windows with
+// carryover — the resiliency behaviour of the production pipeline: tasks
+// that do not fit tonight's 10-hour window are resubmitted the next night
+// until the workload drains or maxNights is exhausted.
+func (p *Pipeline) RunNights(spec WorkflowSpec, heuristic string, maxNights int, seed uint64) ([]*NightReport, error) {
+	if maxNights <= 0 {
+		maxNights = 1
+	}
+	ivSpread := 4.0
+	if spec.Kind == Calibration {
+		ivSpread = 1.4
+	}
+	w := sched.Workload{
+		Cells: spec.Cells, Replicates: spec.Replicates,
+		Time: sched.DefaultTimeModel(), MaxInterventionFactor: ivSpread,
+	}
+	remaining := w.Tasks(stats.NewRNG(seed))
+	constraints := sched.Constraints{
+		TotalNodes: p.Remote.Nodes,
+		DBBound:    sched.DefaultDBBounds(p.DBConnBound),
+	}
+	deadline := p.Window.Seconds()
+	var reports []*NightReport
+	for night := 0; night < maxNights && len(remaining) > 0; night++ {
+		var exec cluster.ExecResult
+		switch heuristic {
+		case "", "FFDT-DC":
+			s, err := sched.FFDTDC(remaining, constraints)
+			if err != nil {
+				return nil, err
+			}
+			exec, err = cluster.ExecuteBackfill(cluster.FlattenSchedule(s), constraints, deadline)
+			if err != nil {
+				return nil, err
+			}
+		case "NFDT-DC":
+			s, err := sched.NFDTDC(remaining, constraints)
+			if err != nil {
+				return nil, err
+			}
+			exec = cluster.ExecuteLevelSync(s, deadline)
+		default:
+			return nil, fmt.Errorf("core: unknown heuristic %q", heuristic)
+		}
+		completed := int64(len(exec.Records))
+		rep := &NightReport{
+			Config:       NightConfig{Spec: spec, Heuristic: heuristic, Seed: seed, Day: night},
+			Tasks:        len(remaining),
+			Makespan:     exec.Makespan,
+			Utilization:  exec.Utilization,
+			Unstarted:    len(exec.Unstarted),
+			FitsWindow:   len(exec.Unstarted) == 0 && exec.Makespan <= deadline,
+			ConfigBytes:  int64(len(remaining)) * 580 * transfer.KB,
+			SummaryBytes: completed * spec.SummaryBytesPerSim,
+			RawBytes:     completed * spec.RawBytesPerSim,
+		}
+		if _, err := p.Ledger.Move(night, transfer.HomeToRemote, "night-configs", rep.ConfigBytes); err != nil {
+			return nil, err
+		}
+		if _, err := p.Ledger.Move(night, transfer.RemoteToHome, "night-summaries", rep.SummaryBytes); err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+		remaining = exec.Unstarted
+	}
+	if len(remaining) > 0 {
+		return reports, fmt.Errorf("core: %d tasks still unfinished after %d nights", len(remaining), maxNights)
+	}
+	return reports, nil
+}
+
+// TimelineStep is one task of the multi-day human-in-the-loop cycle of
+// Figure 2.
+type TimelineStep struct {
+	Day       int
+	Name      string
+	Automated bool
+}
+
+// WeeklyTimeline returns the paper's calibration–prediction cycle: model
+// configuration on day 0, calibration nights, analyst review, projection
+// nights, and the Wednesday delivery of products on day 6.
+func WeeklyTimeline() []TimelineStep {
+	return []TimelineStep{
+		{Day: 0, Name: "update ground truth & model configuration", Automated: false},
+		{Day: 0, Name: "generate calibration design (cells)", Automated: true},
+		{Day: 0, Name: "transfer configurations to remote cluster", Automated: false},
+		{Day: 1, Name: "nightly calibration simulations (10pm–8am)", Automated: true},
+		{Day: 1, Name: "aggregate outputs, transfer summaries home", Automated: true},
+		{Day: 2, Name: "Bayesian calibration (GP emulator + MCMC)", Automated: true},
+		{Day: 2, Name: "analyst review of calibration fit", Automated: false},
+		{Day: 3, Name: "generate prediction configurations + what-if scenarios", Automated: false},
+		{Day: 4, Name: "nightly prediction simulations (10pm–8am)", Automated: true},
+		{Day: 5, Name: "ensemble analysis, county-level products", Automated: true},
+		{Day: 5, Name: "domain-expert consistency review", Automated: false},
+		{Day: 6, Name: "deliver weekly products to stakeholders (Wednesday)", Automated: false},
+	}
+}

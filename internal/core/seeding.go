@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/epihiper"
+	"repro/internal/surveillance"
+)
+
+// SeedsFromSurveillance derives county-level seeding from confirmed case
+// counts, the paper's initialization for the economic and prediction
+// workflows ("county-level seeding derived from county-level confirmed
+// case counts"): each county is seeded with its recent confirmed cases
+// (the trailing `window` days up to asOfDay), scaled to the synthetic
+// population and inflated by the ascertainment multiplier (confirmed
+// counts undercount infections).
+func SeedsFromSurveillance(truth *surveillance.StateTruth, asOfDay, window, scale int, ascertainment float64) ([]epihiper.Seeding, error) {
+	if truth == nil {
+		return nil, fmt.Errorf("core: nil surveillance truth")
+	}
+	if asOfDay < 0 || asOfDay >= truth.Days {
+		return nil, fmt.Errorf("core: asOfDay %d outside [0, %d)", asOfDay, truth.Days)
+	}
+	if window <= 0 {
+		window = 14
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	if ascertainment < 1 {
+		ascertainment = 1
+	}
+	lo := asOfDay - window + 1
+	if lo < 0 {
+		lo = 0
+	}
+	var out []epihiper.Seeding
+	for _, c := range truth.Counties {
+		recent := 0.0
+		for d := lo; d <= asOfDay; d++ {
+			recent += c.Daily[d]
+		}
+		if recent == 0 {
+			continue
+		}
+		count := int(math.Round(recent * ascertainment / float64(scale)))
+		if count <= 0 {
+			// Probabilistic rounding would need an RNG; at coarse
+			// scales, guarantee at least one seed per county with any
+			// recent activity above half a synthetic person.
+			if recent*ascertainment/float64(scale) >= 0.5 {
+				count = 1
+			} else {
+				continue
+			}
+		}
+		out = append(out, epihiper.Seeding{CountyFIPS: c.FIPS, Day: 0, Count: count})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no counties had resolvable case counts by day %d at scale 1:%d", asOfDay, scale)
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/disease"
+	"repro/internal/epihiper"
+	"repro/internal/output"
+)
+
+// WhatIf is a future scenario the prediction workflow layers on top of the
+// as-is calibrated configurations — "what if the stay-at-home order is
+// lifted earlier; what if the mitigation compliance rate increases; what
+// if testing and contact tracing are improved".
+type WhatIf struct {
+	Name string
+	// SHEndShift moves the stay-at-home expiry by this many days
+	// (negative = lifted earlier).
+	SHEndShift int
+	// ComplianceScale multiplies SH and VHI compliance (>1 = better
+	// adherence, capped at 1).
+	ComplianceScale float64
+	// AddTesting layers a TA intervention with the given daily detection.
+	AddTesting float64
+	// AddTracing layers contact tracing at the given distance (0 = none).
+	AddTracing      int
+	TraceDetectProb float64
+}
+
+// StandardWhatIfs returns the paper's three example scenarios.
+func StandardWhatIfs() []WhatIf {
+	return []WhatIf{
+		{Name: "sh-lifted-2w-early", SHEndShift: -14},
+		{Name: "compliance-up-25pct", ComplianceScale: 1.25},
+		{Name: "test-and-trace", AddTesting: 0.3, AddTracing: 1, TraceDetectProb: 0.4},
+	}
+}
+
+// apply builds the scenario's intervention stack for one configuration.
+func (w WhatIf) apply(pr Params, shStart, shEnd int) (Params, []epihiper.Intervention) {
+	scaled := pr
+	if w.ComplianceScale > 0 {
+		scaled.SHCompliance = minf(1, pr.SHCompliance*w.ComplianceScale)
+		scaled.VHICompliance = minf(1, pr.VHICompliance*w.ComplianceScale)
+	}
+	end := shEnd + w.SHEndShift
+	if end < shStart {
+		end = shStart
+	}
+	ivs := []epihiper.Intervention{
+		&epihiper.VoluntaryHomeIsolation{Compliance: scaled.VHICompliance, IsolationDays: 14},
+		&epihiper.SchoolClosure{StartDay: shStart, EndDay: end},
+		&epihiper.StayAtHome{StartDay: shStart + 15, EndDay: end, Compliance: scaled.SHCompliance},
+	}
+	if w.AddTesting > 0 {
+		ivs = append(ivs, &epihiper.TestAndIsolate{DailyDetectRate: w.AddTesting, IsolationDays: 14})
+	}
+	if w.AddTracing > 0 {
+		ivs = append(ivs, &epihiper.ContactTracing{
+			Distance: w.AddTracing, DetectProb: w.TraceDetectProb,
+			TraceCompliance: 0.8, IsolationDays: 14,
+		})
+	}
+	return scaled, ivs
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ScenarioOutcome is one what-if scenario's forecast next to the as-is
+// baseline.
+type ScenarioOutcome struct {
+	Scenario  WhatIf
+	Confirmed Forecast
+	Deaths    Forecast
+}
+
+// RunWhatIfScenarios simulates the expanded configurations and returns one
+// forecast per scenario, combined with the as-is predictions the caller
+// already holds. Each scenario runs every configuration with the given
+// replicates.
+func (p *Pipeline) RunWhatIfScenarios(cfg PredictionConfig, scenarios []WhatIf) ([]*ScenarioOutcome, error) {
+	if len(cfg.Configs) == 0 {
+		return nil, fmt.Errorf("core: what-if analysis needs calibrated configs")
+	}
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("core: no scenarios given")
+	}
+	if cfg.Replicates <= 0 {
+		cfg.Replicates = 5
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 120
+	}
+	if cfg.SHStart <= 0 {
+		cfg.SHStart = 15
+	}
+	if cfg.SHEnd <= 0 {
+		cfg.SHEnd = cfg.Days
+	}
+	net, err := p.Network(cfg.State)
+	if err != nil {
+		return nil, err
+	}
+	db, err := p.DB(cfg.State)
+	if err != nil {
+		return nil, err
+	}
+	var out []*ScenarioOutcome
+	for _, sc := range scenarios {
+		var sims []*SimOutput
+		for ci, pr := range cfg.Configs {
+			scaled, ivs := sc.apply(pr, cfg.SHStart, cfg.SHEnd)
+			model, err := scaled.ApplyToModel(disease.COVID19())
+			if err != nil {
+				return nil, err
+			}
+			for rep := 0; rep < cfg.Replicates; rep++ {
+				job := SimJob{State: cfg.State, Cell: ci, Replicate: rep, Params: scaled, Days: cfg.Days}
+				var seeds []epihiper.Seeding
+				for _, c := range topCounties(net, 1) {
+					seeds = append(seeds, epihiper.Seeding{CountyFIPS: c, Day: 0, Count: 5})
+				}
+				agg := output.NewCountyAggregator(net, cfg.Days)
+				sim, err := epihiper.New(epihiper.Config{
+					Model: model, Network: net, Days: cfg.Days,
+					Parallelism: p.Parallelism,
+					Seed:        p.Seed ^ jobSeed(job) ^ hashName(sc.Name),
+					Seeds:       seeds, Interventions: ivs,
+					DB: db, Recorder: agg,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run()
+				if err != nil {
+					return nil, err
+				}
+				sims = append(sims, &SimOutput{Job: job, Result: res, Agg: agg})
+			}
+		}
+		so := &ScenarioOutcome{Scenario: sc}
+		so.Confirmed = ensembleBand(sims, cfg.Days, func(s *SimOutput) []float64 {
+			return s.Agg.StateConfirmedCumulative()
+		})
+		so.Deaths = ensembleBand(sims, cfg.Days, func(s *SimOutput) []float64 {
+			return s.Agg.StateCumulative(disease.Dead)
+		})
+		out = append(out, so)
+	}
+	return out, nil
+}
+
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range s {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStandardWhatIfs(t *testing.T) {
+	ws := StandardWhatIfs()
+	if len(ws) != 3 {
+		t.Fatalf("%d scenarios want 3 (the paper's examples)", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if w.Name == "" || names[w.Name] {
+			t.Fatalf("bad or duplicate scenario name %q", w.Name)
+		}
+		names[w.Name] = true
+	}
+}
+
+func TestWhatIfApply(t *testing.T) {
+	pr := Params{TAU: 0.2, SYMP: 0.6, SHCompliance: 0.6, VHICompliance: 0.8}
+	// Compliance scaling caps at 1.
+	w := WhatIf{ComplianceScale: 1.5}
+	scaled, ivs := w.apply(pr, 10, 60)
+	if math.Abs(scaled.SHCompliance-0.9) > 1e-12 {
+		t.Fatalf("SH compliance %v want 0.9", scaled.SHCompliance)
+	}
+	if scaled.VHICompliance != 1 {
+		t.Fatalf("VHI compliance %v want cap at 1", scaled.VHICompliance)
+	}
+	if len(ivs) != 3 {
+		t.Fatalf("%d interventions want 3", len(ivs))
+	}
+	// Early lift cannot precede the start.
+	w2 := WhatIf{SHEndShift: -100}
+	_, ivs2 := w2.apply(pr, 10, 60)
+	_ = ivs2
+	// Testing and tracing layers appear.
+	w3 := WhatIf{AddTesting: 0.2, AddTracing: 2, TraceDetectProb: 0.3}
+	_, ivs3 := w3.apply(pr, 10, 60)
+	if len(ivs3) != 5 {
+		t.Fatalf("%d interventions want 5 (base 3 + TA + CT)", len(ivs3))
+	}
+	names := map[string]bool{}
+	for _, iv := range ivs3 {
+		names[iv.Name()] = true
+	}
+	if !names["TA"] || !names["D2CT"] {
+		t.Fatalf("layers missing: %v", names)
+	}
+}
+
+func TestRunWhatIfScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("what-if scenarios in short mode")
+	}
+	p := testPipeline(30)
+	configs := []Params{
+		{TAU: 0.24, SYMP: 0.65, SHCompliance: 0.5, VHICompliance: 0.5},
+		{TAU: 0.27, SYMP: 0.6, SHCompliance: 0.45, VHICompliance: 0.55},
+	}
+	cfg := PredictionConfig{State: "VA", Configs: configs, Replicates: 3, Days: 70}
+	scenarios := []WhatIf{
+		{Name: "as-is-proxy"}, // no modification
+		{Name: "sh-lifted-early", SHEndShift: -30},
+		{Name: "better-compliance", ComplianceScale: 1.6},
+	}
+	outs, err := p.RunWhatIfScenarios(cfg, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("%d outcomes want 3", len(outs))
+	}
+	byName := map[string]*ScenarioOutcome{}
+	for _, o := range outs {
+		byName[o.Scenario.Name] = o
+		// Bands ordered and monotone.
+		for d := 1; d < cfg.Days; d++ {
+			if o.Confirmed.Median[d] < o.Confirmed.Median[d-1] {
+				t.Fatalf("%s: median decreased", o.Scenario.Name)
+			}
+			if o.Confirmed.Lo[d] > o.Confirmed.Hi[d] {
+				t.Fatalf("%s: band inverted", o.Scenario.Name)
+			}
+		}
+	}
+	last := cfg.Days - 1
+	asIs := byName["as-is-proxy"].Confirmed.Median[last]
+	early := byName["sh-lifted-early"].Confirmed.Median[last]
+	better := byName["better-compliance"].Confirmed.Median[last]
+	// Lifting early should not reduce cases; better compliance should not
+	// increase them (allow small-sample slack of 10%).
+	if early < asIs*0.9 {
+		t.Fatalf("lifting SH early reduced cases: %v vs %v", early, asIs)
+	}
+	if better > asIs*1.1 {
+		t.Fatalf("better compliance increased cases: %v vs %v", better, asIs)
+	}
+}
+
+func TestRunWhatIfValidation(t *testing.T) {
+	p := testPipeline(31)
+	if _, err := p.RunWhatIfScenarios(PredictionConfig{State: "VA"}, StandardWhatIfs()); err == nil {
+		t.Error("no configs accepted")
+	}
+	if _, err := p.RunWhatIfScenarios(PredictionConfig{
+		State: "VA", Configs: []Params{{TAU: 0.2, SYMP: 0.6}},
+	}, nil); err == nil {
+		t.Error("no scenarios accepted")
+	}
+}

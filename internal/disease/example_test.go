@@ -1,0 +1,44 @@
+package disease_test
+
+import (
+	"fmt"
+
+	"repro/internal/disease"
+	"repro/internal/stats"
+)
+
+// ExampleCOVID19 walks one individual through the disease progression.
+func ExampleCOVID19() {
+	m := disease.COVID19()
+	fmt.Println("transmissibility:", m.Transmissibility)
+	fmt.Println("exposed state:", m.ExposedState)
+	// Sample a within-host trajectory for a 30-year-old.
+	r := stats.NewRNG(4)
+	s := disease.Exposed
+	for {
+		next, dwell, ok := m.Next(s, disease.AgeGroupOf(30), r)
+		if !ok {
+			break
+		}
+		fmt.Printf("%s → %s after %d days\n", s, next, dwell)
+		s = next
+	}
+	// Output:
+	// transmissibility: 0.18
+	// exposed state: Exposed
+	// Exposed → Asymptomatic after 6 days
+	// Asymptomatic → Recovered after 4 days
+}
+
+// ExampleAgeGroupOf shows the Table III age banding.
+func ExampleAgeGroupOf() {
+	for _, age := range []int{3, 10, 30, 55, 80} {
+		fmt.Printf("age %d → %s\n", age, disease.AgeGroupOf(age))
+	}
+	// Output:
+	// age 3 → 0-4
+	// age 10 → 5-17
+	// age 30 → 18-49
+	// age 55 → 50-64
+	// age 80 → 65+
+}

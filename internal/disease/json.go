@@ -1,0 +1,237 @@
+package disease
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// This file implements the JSON interchange format for disease models: the
+// paper's EpiHiper takes all of its inputs as JSON, with the exception of
+// the contact network. The schema mirrors the PTTS structure — states with
+// transmission attributes, transitions with age-stratified probabilities
+// and typed dwell-time distributions.
+
+// modelJSON is the on-disk form of a Model.
+type modelJSON struct {
+	Name             string           `json:"name"`
+	Transmissibility float64          `json:"transmissibility"`
+	ExposedState     string           `json:"exposedState"`
+	States           []stateJSON      `json:"states"`
+	Transitions      []transitionJSON `json:"transitions"`
+}
+
+type stateJSON struct {
+	Name           string  `json:"name"`
+	Infectivity    float64 `json:"infectivity,omitempty"`
+	Susceptibility float64 `json:"susceptibility,omitempty"`
+}
+
+type transitionJSON struct {
+	From  string      `json:"from"`
+	To    string      `json:"to"`
+	Prob  []float64   `json:"prob"`  // one per age band, or a single value
+	Dwell []dwellJSON `json:"dwell"` // one per age band, or a single entry
+}
+
+type dwellJSON struct {
+	Type   string    `json:"type"` // fixed | normal | discrete
+	Value  float64   `json:"value,omitempty"`
+	Mean   float64   `json:"mean,omitempty"`
+	SD     float64   `json:"sd,omitempty"`
+	Lo     float64   `json:"lo,omitempty"`
+	Hi     float64   `json:"hi,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+	Probs  []float64 `json:"probs,omitempty"`
+}
+
+// stateByName resolves a state name to its value.
+func stateByName(name string) (State, error) {
+	for s := State(0); s < NumStates; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("disease: unknown state %q", name)
+}
+
+func dwellToJSON(d stats.Dist) (dwellJSON, error) {
+	switch v := d.(type) {
+	case stats.Fixed:
+		return dwellJSON{Type: "fixed", Value: v.V}, nil
+	case stats.TruncNormal:
+		return dwellJSON{Type: "normal", Mean: v.Mean, SD: v.SD, Lo: v.Lo, Hi: v.Hi}, nil
+	case stats.Discrete:
+		return dwellJSON{Type: "discrete", Values: v.Vals, Probs: v.Probs}, nil
+	default:
+		return dwellJSON{}, fmt.Errorf("disease: unsupported dwell distribution %T", d)
+	}
+}
+
+// dwellJSONEqual compares two encoded dwell entries field by field.
+func dwellJSONEqual(a, b dwellJSON) bool {
+	if a.Type != b.Type || a.Value != b.Value || a.Mean != b.Mean ||
+		a.SD != b.SD || a.Lo != b.Lo || a.Hi != b.Hi ||
+		len(a.Values) != len(b.Values) || len(a.Probs) != len(b.Probs) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	for i := range a.Probs {
+		if a.Probs[i] != b.Probs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dwellFromJSON(dj dwellJSON) (stats.Dist, error) {
+	switch dj.Type {
+	case "fixed":
+		return stats.Fixed{V: dj.Value}, nil
+	case "normal":
+		lo, hi := dj.Lo, dj.Hi
+		if lo == 0 && hi == 0 {
+			lo, hi = 0.5, 60
+		}
+		if dj.SD <= 0 {
+			return nil, fmt.Errorf("disease: normal dwell needs positive sd, got %g", dj.SD)
+		}
+		return stats.TruncNormal{Mean: dj.Mean, SD: dj.SD, Lo: lo, Hi: hi}, nil
+	case "discrete":
+		return stats.NewDiscrete(dj.Values, dj.Probs)
+	default:
+		return nil, fmt.Errorf("disease: unknown dwell type %q", dj.Type)
+	}
+}
+
+// MarshalJSON encodes the model in the interchange schema.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{
+		Name:             m.Name,
+		Transmissibility: m.Transmissibility,
+		ExposedState:     m.ExposedState.String(),
+	}
+	for s := State(0); s < NumStates; s++ {
+		a := m.Attrs[s]
+		if a.Infectivity != 0 || a.Susceptibility != 0 {
+			out.States = append(out.States, stateJSON{
+				Name: s.String(), Infectivity: a.Infectivity, Susceptibility: a.Susceptibility,
+			})
+		}
+	}
+	for s := State(0); s < NumStates; s++ {
+		for _, tr := range m.transitions[s] {
+			tj := transitionJSON{From: tr.From.String(), To: tr.To.String()}
+			// Collapse uniform rows to a single value for readability.
+			uniformP := true
+			for _, p := range tr.Prob {
+				if p != tr.Prob[0] {
+					uniformP = false
+					break
+				}
+			}
+			if uniformP {
+				tj.Prob = []float64{tr.Prob[0]}
+			} else {
+				tj.Prob = append(tj.Prob, tr.Prob[:]...)
+			}
+			// Encode all age bands, then collapse when identical.
+			// (Dist implementations may hold slices, so compare the
+			// encoded forms, not the interfaces.)
+			var djs []dwellJSON
+			uniformD := true
+			for i := range tr.Dwell {
+				dj, err := dwellToJSON(tr.Dwell[i])
+				if err != nil {
+					return nil, err
+				}
+				djs = append(djs, dj)
+				if i > 0 && !dwellJSONEqual(djs[0], dj) {
+					uniformD = false
+				}
+			}
+			if uniformD {
+				tj.Dwell = djs[:1]
+			} else {
+				tj.Dwell = djs
+			}
+			out.Transitions = append(out.Transitions, tj)
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalJSON decodes a model from the interchange schema and validates
+// it.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("disease: parsing model: %w", err)
+	}
+	exp, err := stateByName(in.ExposedState)
+	if err != nil {
+		return err
+	}
+	decoded := Model{
+		Name:             in.Name,
+		Transmissibility: in.Transmissibility,
+		ExposedState:     exp,
+	}
+	for _, sj := range in.States {
+		s, err := stateByName(sj.Name)
+		if err != nil {
+			return err
+		}
+		decoded.Attrs[s] = StateAttr{Infectivity: sj.Infectivity, Susceptibility: sj.Susceptibility}
+	}
+	for _, tj := range in.Transitions {
+		from, err := stateByName(tj.From)
+		if err != nil {
+			return err
+		}
+		to, err := stateByName(tj.To)
+		if err != nil {
+			return err
+		}
+		tr := Transition{From: from, To: to}
+		switch len(tj.Prob) {
+		case 1:
+			tr.Prob = uniformProb(tj.Prob[0])
+		case int(NumAgeGroups):
+			copy(tr.Prob[:], tj.Prob)
+		default:
+			return fmt.Errorf("disease: transition %s→%s has %d probabilities (want 1 or %d)",
+				tj.From, tj.To, len(tj.Prob), NumAgeGroups)
+		}
+		switch len(tj.Dwell) {
+		case 1:
+			d, err := dwellFromJSON(tj.Dwell[0])
+			if err != nil {
+				return err
+			}
+			tr.Dwell = uniformDwell(d)
+		case int(NumAgeGroups):
+			for i, dj := range tj.Dwell {
+				d, err := dwellFromJSON(dj)
+				if err != nil {
+					return err
+				}
+				tr.Dwell[i] = d
+			}
+		default:
+			return fmt.Errorf("disease: transition %s→%s has %d dwell entries (want 1 or %d)",
+				tj.From, tj.To, len(tj.Dwell), NumAgeGroups)
+		}
+		decoded.AddTransition(tr)
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*m = decoded
+	return nil
+}

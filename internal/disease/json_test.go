@@ -1,0 +1,138 @@
+package disease
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	orig := COVID19()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Transmissibility != orig.Transmissibility {
+		t.Fatal("header fields lost")
+	}
+	if back.ExposedState != orig.ExposedState {
+		t.Fatal("exposed state lost")
+	}
+	for s := State(0); s < NumStates; s++ {
+		if back.Attrs[s] != orig.Attrs[s] {
+			t.Fatalf("attrs of %v lost: %+v vs %+v", s, back.Attrs[s], orig.Attrs[s])
+		}
+		bt, ot := back.Transitions(s), orig.Transitions(s)
+		if len(bt) != len(ot) {
+			t.Fatalf("state %v: %d transitions vs %d", s, len(bt), len(ot))
+		}
+		for i := range bt {
+			if bt[i].To != ot[i].To || bt[i].Prob != ot[i].Prob {
+				t.Fatalf("transition %v→%v changed", s, ot[i].To)
+			}
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sampling behaviour survives the round trip: dwell distributions decode
+// to statistically identical objects.
+func TestModelJSONDwellBehaviourPreserved(t *testing.T) {
+	orig := COVID19()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for s := State(0); s < NumStates; s++ {
+		for i, tr := range orig.Transitions(s) {
+			btr := back.Transitions(s)[i]
+			for ag := AgeGroup(0); ag < NumAgeGroups; ag++ {
+				r1 := stats.NewRNG(42)
+				r2 := stats.NewRNG(42)
+				for k := 0; k < 20; k++ {
+					a := tr.Dwell[ag].Sample(r1)
+					b := btr.Dwell[ag].Sample(r2)
+					if a != b {
+						t.Fatalf("%v→%v ages %v: dwell samples diverge (%v vs %v)", s, tr.To, ag, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestModelJSONHumanReadable(t *testing.T) {
+	data, err := json.Marshal(COVID19())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	// encoding/json compacts MarshalJSON output, so expect compact forms.
+	for _, want := range []string{
+		`"name":"covid19-cdc-best-guess"`,
+		`"transmissibility":0.18`,
+		`"from":"Symptomatic"`,
+		`"type":"discrete"`,
+		`"type":"normal"`,
+		`"type":"fixed"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("encoded model missing %q", want)
+		}
+	}
+}
+
+func TestModelJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `{`,
+		"unknown state": `{"name":"x","transmissibility":0.1,"exposedState":"Nonsense","transitions":[]}`,
+		"bad prob count": `{"name":"x","transmissibility":0.1,"exposedState":"Exposed",
+			"states":[{"name":"Susceptible","susceptibility":1}],
+			"transitions":[{"from":"Exposed","to":"Recovered","prob":[0.5,0.5],"dwell":[{"type":"fixed","value":1}]}]}`,
+		"bad dwell type": `{"name":"x","transmissibility":0.1,"exposedState":"Exposed",
+			"states":[{"name":"Susceptible","susceptibility":1}],
+			"transitions":[{"from":"Exposed","to":"Recovered","prob":[1],"dwell":[{"type":"cauchy"}]}]}`,
+		"invalid sums": `{"name":"x","transmissibility":0.1,"exposedState":"Exposed",
+			"states":[{"name":"Susceptible","susceptibility":1}],
+			"transitions":[{"from":"Exposed","to":"Recovered","prob":[0.4],"dwell":[{"type":"fixed","value":1}]}]}`,
+		"normal without sd": `{"name":"x","transmissibility":0.1,"exposedState":"Exposed",
+			"states":[{"name":"Susceptible","susceptibility":1}],
+			"transitions":[{"from":"Exposed","to":"Recovered","prob":[1],"dwell":[{"type":"normal","mean":5}]}]}`,
+	}
+	for name, input := range cases {
+		var m Model
+		if err := json.Unmarshal([]byte(input), &m); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSIRModelJSONRoundTrip(t *testing.T) {
+	orig := SIR(0.25, 5)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ExposedState != Symptomatic {
+		t.Fatal("SIR exposed state lost")
+	}
+	if !back.IsInfectious(Symptomatic) || !back.IsSusceptible(Susceptible) {
+		t.Fatal("SIR attrs lost")
+	}
+}

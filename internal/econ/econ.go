@@ -1,0 +1,113 @@
+// Package econ implements the medical-cost model of the paper's first case
+// study ("Medical costs of COVID-19", following Chen et al. [9]): per-case
+// costs by level of care, applied to the aggregate health-state counts a
+// workflow produces, yielding per-scenario total medical costs for the
+// factorial NPI designs.
+package econ
+
+import (
+	"fmt"
+
+	"repro/internal/disease"
+)
+
+// CostSchedule gives the per-event and per-day unit costs in dollars.
+// Defaults follow the published estimates the paper's companion study uses
+// (FAIR Health / HealthCare Cost Institute 2020 figures).
+type CostSchedule struct {
+	// MedicalAttention is the one-time cost of an attended (outpatient)
+	// case.
+	MedicalAttention float64
+	// HospitalPerDay is the daily cost of a non-ICU hospital bed.
+	HospitalPerDay float64
+	// VentilatorPerDay is the daily cost of ICU care with ventilation.
+	VentilatorPerDay float64
+	// Death adds end-of-life intensive care costs.
+	Death float64
+}
+
+// DefaultCosts returns the 2020 estimates.
+func DefaultCosts() CostSchedule {
+	return CostSchedule{
+		MedicalAttention: 500,
+		HospitalPerDay:   4000,
+		VentilatorPerDay: 10000,
+		Death:            15000,
+	}
+}
+
+// Tally is the input to the cost model: event counts and person-days by
+// care level, produced by aggregating simulation output.
+type Tally struct {
+	AttendedCases  int64 // entries into any Attended state
+	HospitalDays   int64 // person-days in Hospitalized states
+	VentilatorDays int64 // person-days in Ventilated states
+	Deaths         int64
+}
+
+// Add accumulates another tally.
+func (t *Tally) Add(o Tally) {
+	t.AttendedCases += o.AttendedCases
+	t.HospitalDays += o.HospitalDays
+	t.VentilatorDays += o.VentilatorDays
+	t.Deaths += o.Deaths
+}
+
+// Cost applies the schedule to the tally.
+func (c CostSchedule) Cost(t Tally) float64 {
+	return float64(t.AttendedCases)*c.MedicalAttention +
+		float64(t.HospitalDays)*c.HospitalPerDay +
+		float64(t.VentilatorDays)*c.VentilatorPerDay +
+		float64(t.Deaths)*c.Death
+}
+
+// TallyFromSeries builds a tally from daily new-entry counts and current
+// occupancy per state — the two series a Result or CountyAggregator holds.
+// daily[d][st] are entries into st on day d; current[d][st] is end-of-day
+// occupancy.
+func TallyFromSeries(daily, current [][disease.NumStates]int32) (Tally, error) {
+	if len(daily) != len(current) {
+		return Tally{}, fmt.Errorf("econ: daily (%d) and current (%d) horizons differ", len(daily), len(current))
+	}
+	var t Tally
+	for d := range daily {
+		t.AttendedCases += int64(daily[d][disease.Attended]) +
+			int64(daily[d][disease.AttendedH]) + int64(daily[d][disease.AttendedD])
+		t.HospitalDays += int64(current[d][disease.Hospitalized]) + int64(current[d][disease.HospitalizedD])
+		t.VentilatorDays += int64(current[d][disease.Ventilated]) + int64(current[d][disease.VentilatedD])
+		t.Deaths += int64(daily[d][disease.Dead])
+	}
+	return t, nil
+}
+
+// ScenarioCost names a scenario's total cost for reporting.
+type ScenarioCost struct {
+	Scenario string
+	Tally    Tally
+	Dollars  float64
+}
+
+// CompareScenarios costs a set of scenario tallies with one schedule.
+func CompareScenarios(c CostSchedule, tallies map[string]Tally) []ScenarioCost {
+	out := make([]ScenarioCost, 0, len(tallies))
+	for name, t := range tallies {
+		out = append(out, ScenarioCost{Scenario: name, Tally: t, Dollars: c.Cost(t)})
+	}
+	// Deterministic order: by name.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Scenario < out[j-1].Scenario; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// PerCapita scales a dollar figure from the simulation's population scale
+// back to real-population terms: costs computed on a 1:Scale synthetic
+// population multiply by Scale.
+func PerCapita(dollars float64, scale int) float64 {
+	if scale <= 0 {
+		scale = 1
+	}
+	return dollars * float64(scale)
+}

@@ -1,0 +1,92 @@
+package econ
+
+import (
+	"testing"
+
+	"repro/internal/disease"
+)
+
+func TestCostApplication(t *testing.T) {
+	c := CostSchedule{MedicalAttention: 100, HospitalPerDay: 1000, VentilatorPerDay: 5000, Death: 20000}
+	tally := Tally{AttendedCases: 10, HospitalDays: 3, VentilatorDays: 2, Deaths: 1}
+	want := 10*100.0 + 3*1000 + 2*5000 + 1*20000
+	if got := c.Cost(tally); got != want {
+		t.Fatalf("cost %v want %v", got, want)
+	}
+	if DefaultCosts().Cost(Tally{}) != 0 {
+		t.Fatal("empty tally should cost nothing")
+	}
+}
+
+func TestTallyAdd(t *testing.T) {
+	a := Tally{AttendedCases: 1, HospitalDays: 2, VentilatorDays: 3, Deaths: 4}
+	a.Add(Tally{AttendedCases: 10, HospitalDays: 20, VentilatorDays: 30, Deaths: 40})
+	if a.AttendedCases != 11 || a.HospitalDays != 22 || a.VentilatorDays != 33 || a.Deaths != 44 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+}
+
+func TestTallyFromSeries(t *testing.T) {
+	days := 3
+	daily := make([][disease.NumStates]int32, days)
+	current := make([][disease.NumStates]int32, days)
+	daily[0][disease.Attended] = 5
+	daily[1][disease.AttendedH] = 2
+	daily[1][disease.AttendedD] = 1
+	daily[2][disease.Dead] = 1
+	current[0][disease.Hospitalized] = 4
+	current[1][disease.Hospitalized] = 6
+	current[1][disease.HospitalizedD] = 1
+	current[2][disease.Ventilated] = 2
+	current[2][disease.VentilatedD] = 1
+	tally, err := TallyFromSeries(daily, current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.AttendedCases != 8 {
+		t.Errorf("attended %d want 8", tally.AttendedCases)
+	}
+	if tally.HospitalDays != 11 {
+		t.Errorf("hospital days %d want 11", tally.HospitalDays)
+	}
+	if tally.VentilatorDays != 3 {
+		t.Errorf("vent days %d want 3", tally.VentilatorDays)
+	}
+	if tally.Deaths != 1 {
+		t.Errorf("deaths %d want 1", tally.Deaths)
+	}
+}
+
+func TestTallyFromSeriesMismatch(t *testing.T) {
+	if _, err := TallyFromSeries(make([][disease.NumStates]int32, 2), make([][disease.NumStates]int32, 3)); err == nil {
+		t.Fatal("mismatched horizons accepted")
+	}
+}
+
+func TestCompareScenariosSorted(t *testing.T) {
+	c := DefaultCosts()
+	out := CompareScenarios(c, map[string]Tally{
+		"no-npi":    {AttendedCases: 100, HospitalDays: 50, Deaths: 5},
+		"lockdown":  {AttendedCases: 20, HospitalDays: 8, Deaths: 1},
+		"mid-level": {AttendedCases: 60, HospitalDays: 25, Deaths: 3},
+	})
+	if len(out) != 3 {
+		t.Fatalf("%d scenarios", len(out))
+	}
+	if out[0].Scenario != "lockdown" || out[1].Scenario != "mid-level" || out[2].Scenario != "no-npi" {
+		t.Fatalf("not sorted by name: %+v", out)
+	}
+	// Fewer cases must cost less under a fixed schedule.
+	if out[0].Dollars >= out[2].Dollars {
+		t.Fatal("lockdown scenario should cost less than no-NPI")
+	}
+}
+
+func TestPerCapitaScaling(t *testing.T) {
+	if PerCapita(100, 1000) != 100000 {
+		t.Fatal("scale-up wrong")
+	}
+	if PerCapita(100, 0) != 100 {
+		t.Fatal("zero scale should be identity")
+	}
+}

@@ -1,0 +1,67 @@
+package epihiper
+
+import (
+	"testing"
+
+	"repro/internal/disease"
+)
+
+// The incremental infectious-neighbor counters must exactly match a
+// from-scratch recount after any run — the invariant the transmission
+// fast-path depends on.
+func TestInfectiousNeighborCountersConsistent(t *testing.T) {
+	net := testNetwork(t, 70)
+	for _, days := range []int{1, 17, 80} {
+		cfg := baseConfig(net, 5000)
+		cfg.Days = days
+		cfg.Interventions = []Intervention{
+			&VoluntaryHomeIsolation{Compliance: 0.5, IsolationDays: 14},
+			&ContactTracing{Distance: 1, DetectProb: 0.4, TraceCompliance: 0.5},
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for pid := int32(0); int(pid) < net.NumNodes(); pid++ {
+			var want int32
+			for _, e := range net.Adj[pid] {
+				if sim.model.IsInfectious(sim.health[e.Neighbor]) {
+					want++
+				}
+			}
+			if sim.infNbrCount[pid] != want {
+				t.Fatalf("days=%d: counter of %d is %d, recount %d",
+					days, pid, sim.infNbrCount[pid], want)
+			}
+		}
+	}
+}
+
+// The counters also hold under reinfection dynamics (waning immunity).
+func TestInfectiousCountersUnderWaning(t *testing.T) {
+	net := testNetwork(t, 71)
+	cfg := baseConfig(net, 5100)
+	cfg.Days = 150
+	cfg.Model = disease.COVID19Waning(25)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for pid := int32(0); int(pid) < net.NumNodes(); pid++ {
+		var want int32
+		for _, e := range net.Adj[pid] {
+			if sim.model.IsInfectious(sim.health[e.Neighbor]) {
+				want++
+			}
+		}
+		if sim.infNbrCount[pid] != want {
+			t.Fatalf("counter of %d is %d, recount %d", pid, sim.infNbrCount[pid], want)
+		}
+	}
+}

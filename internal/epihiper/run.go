@@ -1,0 +1,355 @@
+package epihiper
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/disease"
+	"repro/internal/synthpop"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Days int
+	// Daily[d][st] is the number of persons entering state st on day d.
+	Daily [][disease.NumStates]int32
+	// Current[d][st] is the occupancy of state st at the end of day d.
+	Current [][disease.NumStates]int32
+	// TotalInfections counts all transmission events.
+	TotalInfections int64
+	// PeakMemoryBytes is the maximum modeled memory during the run.
+	PeakMemoryBytes int64
+}
+
+// CumulativeInto returns the cumulative daily series of entries into the
+// given state.
+func (r *Result) CumulativeInto(st disease.State) []float64 {
+	out := make([]float64, len(r.Daily))
+	var acc int64
+	for d := range r.Daily {
+		acc += int64(r.Daily[d][st])
+		out[d] = float64(acc)
+	}
+	return out
+}
+
+// exposure is a pending infection computed during the transmission phase.
+type exposure struct {
+	pid      int32
+	infector int32
+}
+
+// Run executes the configured number of ticks and returns the summary.
+// It may be called once per Sim.
+func (s *Sim) Run() (*Result, error) {
+	res := &Result{
+		Days:    s.cfg.Days,
+		Daily:   make([][disease.NumStates]int32, s.cfg.Days),
+		Current: make([][disease.NumStates]int32, s.cfg.Days),
+	}
+	nParts := len(s.parts)
+	exposuresPer := make([][]exposure, nParts)
+	progressPer := make([][]int32, nParts)
+
+	for day := 0; day < s.cfg.Days; day++ {
+		s.day = day
+		// Day 0 keeps the seeding events recorded during construction.
+		if day > 0 {
+			s.todayEvents = s.todayEvents[:0]
+		}
+		s.runScheduled(day)
+
+		// Phase 1: transmission. Each worker scans the susceptible nodes
+		// of its partition; reads of neighbor health are safe because
+		// health is not written during this phase (synchronous update).
+		// Phase 2: progression collection (nodes whose dwell expires
+		// today). Both phases run on the caller when there is a single
+		// partition — no goroutine round-trip for sequential runs.
+		if nParts == 1 {
+			exposuresPer[0] = s.transmissionPhase(s.parts[0], day, exposuresPer[0][:0])
+			buf := progressPer[0][:0]
+			for pid := s.parts[0].FirstNode; pid <= s.parts[0].LastNode; pid++ {
+				if s.switchTick[pid] == int32(day) {
+					buf = append(buf, pid)
+				}
+			}
+			progressPer[0] = buf
+		} else {
+			var wg sync.WaitGroup
+			for pi := range s.parts {
+				wg.Add(1)
+				go func(pi int) {
+					defer wg.Done()
+					exposuresPer[pi] = s.transmissionPhase(s.parts[pi], day, exposuresPer[pi][:0])
+				}(pi)
+			}
+			wg.Wait()
+			for pi := range s.parts {
+				wg.Add(1)
+				go func(pi int) {
+					defer wg.Done()
+					buf := progressPer[pi][:0]
+					p := s.parts[pi]
+					for pid := p.FirstNode; pid <= p.LastNode; pid++ {
+						if s.switchTick[pid] == int32(day) {
+							buf = append(buf, pid)
+						}
+					}
+					progressPer[pi] = buf
+				}(pi)
+			}
+			wg.Wait()
+		}
+		for _, buf := range progressPer {
+			for _, pid := range buf {
+				s.transitionTo(pid, s.health[pid], s.nextState[pid], NoInfector, day)
+			}
+		}
+
+		// Phase 3: apply exposures in node order. A node that progressed
+		// out of susceptibility this tick can no longer be exposed.
+		for _, buf := range exposuresPer {
+			for _, e := range buf {
+				if s.model.IsSusceptible(s.health[e.pid]) {
+					s.infect(e.pid, e.infector, day)
+					res.TotalInfections++
+				}
+			}
+		}
+
+		// Phase 4: interventions (trigger evaluation + action ensembles).
+		for _, iv := range s.cfg.Interventions {
+			iv.Step(s, day, s.ivRNG)
+		}
+
+		// Daily accounting from the tick's transition events.
+		for _, ev := range s.todayEvents {
+			res.Daily[day][ev.To]++
+		}
+		for st, c := range s.currentByState {
+			res.Current[day][st] = int32(c)
+		}
+		mem := s.MemoryBytes()
+		s.memTrace = append(s.memTrace, mem)
+		if mem > res.PeakMemoryBytes {
+			res.PeakMemoryBytes = mem
+		}
+	}
+	return res, nil
+}
+
+// runScheduled fires queued actions due on or before the given day, in the
+// order they were scheduled.
+func (s *Sim) runScheduled(day int) {
+	if len(s.scheduled) == 0 {
+		return
+	}
+	var remaining []scheduledAction
+	var due []scheduledAction
+	for _, a := range s.scheduled {
+		if a.day <= day {
+			due = append(due, a)
+		} else {
+			remaining = append(remaining, a)
+		}
+	}
+	s.scheduled = remaining
+	s.dynamicBytes -= int64(len(due)) * perScheduledChangeBytes
+	for _, a := range due {
+		a.fn(s)
+	}
+}
+
+// transmissionPhase computes exposures for the susceptible nodes of one
+// partition. The per-contact propensity follows eq. (1) of the paper:
+// ρ = T · w_e · σ(Pˢ)·ι(Pⁱ) · ω, with T the contact duration (fraction of
+// a day) and ω the model transmissibility. Whether the node is infected
+// during the tick follows the Gillespie construction: with total propensity
+// Λ, infection occurs with probability 1 − e^{−Λ}, and the causing contact
+// is drawn proportionally to its propensity.
+func (s *Sim) transmissionPhase(p synthpop.Partition, day int, buf []exposure) []exposure {
+	omega := s.model.Transmissibility
+	for pid := p.FirstNode; pid <= p.LastNode; pid++ {
+		if s.infNbrCount[pid] == 0 {
+			continue // no infectious neighbors: no exposure risk today
+		}
+		st := s.health[pid]
+		if !s.model.IsSusceptible(st) {
+			continue
+		}
+		adj := s.net.Adj[pid]
+		if len(adj) == 0 {
+			continue
+		}
+		maskV := s.effMask(pid)
+		if maskV == 0 {
+			continue
+		}
+		sigma := float64(s.susceptibilityScale[pid]) * s.model.Attrs[st].Susceptibility
+		if sigma <= 0 {
+			continue
+		}
+		total := 0.0
+		for _, e := range adj {
+			u := e.Neighbor
+			iota := s.model.Attrs[s.health[u]].Infectivity
+			if iota == 0 {
+				continue
+			}
+			if maskV&(1<<uint8(e.SrcContext)) == 0 {
+				continue
+			}
+			if s.effMask(u)&(1<<uint8(e.DstContext)) == 0 {
+				continue
+			}
+			t := float64(e.DurationMin) / 1440.0
+			total += t * float64(e.Weight) * s.ctxWeight[e.SrcContext] * sigma * iota * float64(s.infectivityScale[u]) * omega
+		}
+		if total <= 0 {
+			continue
+		}
+		r := s.nodeRNG(pid, day, phaseTransmission)
+		if r.Float64() >= 1-expNeg(total) {
+			continue
+		}
+		// Pick the causing contact proportionally to propensity.
+		target := r.Float64() * total
+		acc := 0.0
+		infector := NoInfector
+		for _, e := range adj {
+			u := e.Neighbor
+			iota := s.model.Attrs[s.health[u]].Infectivity
+			if iota == 0 {
+				continue
+			}
+			if maskV&(1<<uint8(e.SrcContext)) == 0 {
+				continue
+			}
+			if s.effMask(u)&(1<<uint8(e.DstContext)) == 0 {
+				continue
+			}
+			t := float64(e.DurationMin) / 1440.0
+			acc += t * float64(e.Weight) * s.ctxWeight[e.SrcContext] * sigma * iota * float64(s.infectivityScale[u]) * omega
+			if acc >= target {
+				infector = u
+				break
+			}
+		}
+		buf = append(buf, exposure{pid: pid, infector: infector})
+	}
+	return buf
+}
+
+// expNeg returns e^{-x} guarding the common small-x case with the two-term
+// expansion to avoid the full Exp call in the hot loop.
+func expNeg(x float64) float64 {
+	if x < 1e-4 {
+		return 1 - x + 0.5*x*x
+	}
+	return math.Exp(-x)
+}
+
+// Attack returns the final fraction of the population ever infected.
+func Attack(res *Result, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(res.TotalInfections) / float64(n)
+}
+
+// RunReplicates executes the same configuration with distinct replicate
+// seeds and returns the per-replicate results in replicate order.
+// Replicates run in parallel when that is safe: either the configuration
+// has no interventions, or it supplies InterventionsFactory so each
+// replicate gets fresh (non-shared) intervention state. With only a shared
+// Interventions slice, replicates run sequentially to avoid racing on
+// stateful interventions.
+func RunReplicates(cfg Config, replicates int) ([]*Result, error) {
+	results := make([]*Result, replicates)
+	errs := make([]error, replicates)
+	runOne := func(rep int) {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(rep)*0x9E3779B97F4A7C15
+		c.Recorder = nil // recorders are not safe across replicate goroutines
+		if cfg.InterventionsFactory != nil {
+			c.Interventions = cfg.InterventionsFactory()
+		}
+		sim, err := New(c)
+		if err != nil {
+			errs[rep] = err
+			return
+		}
+		results[rep], errs[rep] = sim.Run()
+	}
+	parallelSafe := cfg.Interventions == nil || cfg.InterventionsFactory != nil
+	if parallelSafe {
+		var wg sync.WaitGroup
+		for rep := 0; rep < replicates; rep++ {
+			wg.Add(1)
+			go func(rep int) {
+				defer wg.Done()
+				runOne(rep)
+			}(rep)
+		}
+		wg.Wait()
+	} else {
+		for rep := 0; rep < replicates; rep++ {
+			runOne(rep)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// EnsembleQuantiles computes pointwise quantiles of the cumulative series
+// of a state across replicate results (the prediction workflow's
+// uncertainty quantification).
+func EnsembleQuantiles(results []*Result, st disease.State, qs ...float64) [][]float64 {
+	if len(results) == 0 {
+		return nil
+	}
+	days := results[0].Days
+	out := make([][]float64, len(qs))
+	for i := range out {
+		out[i] = make([]float64, days)
+	}
+	series := make([][]float64, len(results))
+	for i, r := range results {
+		series[i] = r.CumulativeInto(st)
+	}
+	vals := make([]float64, len(results))
+	for d := 0; d < days; d++ {
+		for i := range series {
+			vals[i] = series[i][d]
+		}
+		sort.Float64s(vals)
+		for qi, q := range qs {
+			out[qi][d] = sortedQuantile(vals, q)
+		}
+	}
+	return out
+}
+
+func sortedQuantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}

@@ -1,0 +1,476 @@
+// Package epihiper implements the agent-based discrete-time epidemic
+// simulator of the paper (EpiHiper, described in companion publications and
+// reproduced here from the paper's Appendices A, B and D): probabilistic
+// disease transmission between nodes of a contact network, PTTS disease
+// progression within each infected individual, and externally-triggered
+// interventions.
+//
+// Parallel execution over network partitions stands in for the C++/MPI
+// implementation: the network is split with the paper's edge-balanced
+// partitioner and each partition is owned by one worker goroutine
+// ("processing unit"). Results are bit-for-bit independent of the number of
+// processing units because every stochastic decision draws from an RNG
+// keyed on (seed, node, tick, phase) rather than on a worker-local stream.
+package epihiper
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/disease"
+	"repro/internal/popdb"
+	"repro/internal/stats"
+	"repro/internal/synthpop"
+)
+
+// NoInfector marks a state transition not caused by disease transmission.
+const NoInfector int32 = -1
+
+// Recorder receives every individual state transition, in deterministic
+// order (by tick, then by person ID). This is the paper's per-line EpiHiper
+// output: tick, person, exit state, and the infector for transmissions.
+type Recorder interface {
+	Record(tick int, pid int32, from, to disease.State, infector int32)
+}
+
+// RecorderFunc adapts a function to the Recorder interface.
+type RecorderFunc func(tick int, pid int32, from, to disease.State, infector int32)
+
+// Record implements Recorder.
+func (f RecorderFunc) Record(tick int, pid int32, from, to disease.State, infector int32) {
+	f(tick, pid, from, to, infector)
+}
+
+// MultiRecorder fans transitions out to several recorders.
+type MultiRecorder []Recorder
+
+// Record implements Recorder.
+func (m MultiRecorder) Record(tick int, pid int32, from, to disease.State, infector int32) {
+	for _, r := range m {
+		r.Record(tick, pid, from, to, infector)
+	}
+}
+
+// Seeding places initial infections in a county: Count persons of the
+// county enter the model's exposed state on Day.
+type Seeding struct {
+	CountyFIPS int32
+	Day        int
+	Count      int
+}
+
+// Config assembles one simulation instance (one replicate of one cell).
+type Config struct {
+	Model   *disease.Model
+	Network *synthpop.Network
+	// Days is the number of ticks to simulate (1 tick = 1 day).
+	Days int
+	// Parallelism is the number of processing units. Zero means 1.
+	Parallelism int
+	// PartitionTolerance is the ε of the paper's partitioner.
+	PartitionTolerance float64
+	Seed               uint64
+	Seeds              []Seeding
+	// SeedPersons infects these exact persons at day 0, in addition to
+	// any county-level Seeds — useful for controlled experiments like
+	// the Figure 11 five-person network.
+	SeedPersons   []int32
+	Interventions []Intervention
+	// InterventionsFactory, when set, builds a fresh intervention stack
+	// per simulation. Several interventions are stateful (StayAtHome
+	// retains its compliant set, PulsingShutdown its pulse state), so
+	// concurrent replicates must not share instances; RunReplicates uses
+	// the factory to parallelize safely and falls back to sequential
+	// execution when only shared Interventions are given.
+	InterventionsFactory func() []Intervention
+	// DB optionally supplies the population at start-up, exercising the
+	// bounded-connection database path of the production workflow. When
+	// nil, the network's own person table is used directly.
+	DB *popdb.Server
+	// Recorder receives the transition stream; may be nil.
+	Recorder Recorder
+}
+
+// Sim is the mutable simulation state (the paper's "system state":
+// attributes of nodes and edges, simulation time, user-defined variables).
+type Sim struct {
+	cfg   Config
+	model *disease.Model
+	net   *synthpop.Network
+
+	day int
+
+	health     []disease.State
+	nextState  []disease.State
+	switchTick []int32 // tick at which the pending progression fires; -1 none
+
+	infectivityScale    []float32
+	susceptibilityScale []float32
+
+	// ctxMask holds per-person enabled-context bits; globalCtxMask gates
+	// contexts network-wide (school closure). A contact is live when both
+	// endpoints' contexts pass their masks and the global mask.
+	ctxMask       []uint8
+	globalCtxMask uint8
+	isolatedUntil []int32 // person isolated (home contacts only) while day < value
+
+	// ctxWeight scales the effective edge weight per context (Table V's
+	// writable edge weight, expressed at context granularity): mask
+	// mandates and distancing rules reduce transmission in a context
+	// without removing the contacts.
+	ctxWeight [synthpop.NumContexts]float64
+
+	// Vars are the user-defined named variables of the EpiHiper system
+	// state (Table V), read and written by intervention triggers.
+	Vars map[string]float64
+
+	parts   []synthpop.Partition
+	ivRNG   *stats.RNG
+	permBuf []int32 // scratch for interventions sampling target sets
+
+	// Bookkeeping for memory accounting and summaries.
+	currentByState [disease.NumStates]int
+	cumByState     [disease.NumStates]int64
+	scheduled      []scheduledAction
+	memTrace       []int64
+	dynamicBytes   int64
+
+	// todayEvents collects the transitions of the current tick, in
+	// deterministic order; interventions and the daily accounting read it.
+	todayEvents []TransitionEvent
+
+	// nodeTraits holds the user-defined per-person attributes of
+	// Table V (nodeTrait[traitName]); allocated lazily per trait.
+	nodeTraits map[string][]float64
+
+	// infNbrCount[v] counts v's currently-infectious neighbors. It is
+	// maintained incrementally on every state transition (O(degree) per
+	// transition) so the daily transmission scan can skip the — usually
+	// vast — majority of nodes with no exposure risk.
+	infNbrCount []int32
+}
+
+// TransitionEvent is one state change within the current tick.
+type TransitionEvent struct {
+	PID      int32
+	From, To disease.State
+	Infector int32
+}
+
+type scheduledAction struct {
+	day int
+	fn  func(s *Sim)
+}
+
+const allContexts = uint8(1<<synthpop.NumContexts) - 1
+const homeOnlyMask = uint8(1) << uint8(synthpop.CtxHome)
+
+// New validates the configuration and builds an initialized simulation.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Model == nil || cfg.Network == nil {
+		return nil, fmt.Errorf("epihiper: model and network are required")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("epihiper: invalid model: %w", err)
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("epihiper: non-positive horizon %d", cfg.Days)
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.PartitionTolerance <= 0 {
+		cfg.PartitionTolerance = 0.01
+	}
+	if cfg.Interventions == nil && cfg.InterventionsFactory != nil {
+		cfg.Interventions = cfg.InterventionsFactory()
+	}
+	n := cfg.Network.NumNodes()
+	s := &Sim{
+		cfg:                 cfg,
+		model:               cfg.Model,
+		net:                 cfg.Network,
+		health:              make([]disease.State, n),
+		nextState:           make([]disease.State, n),
+		switchTick:          make([]int32, n),
+		infectivityScale:    make([]float32, n),
+		susceptibilityScale: make([]float32, n),
+		ctxMask:             make([]uint8, n),
+		globalCtxMask:       allContexts,
+		isolatedUntil:       make([]int32, n),
+		Vars:                make(map[string]float64),
+		ivRNG:               stats.NewRNG(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5),
+	}
+	for c := range s.ctxWeight {
+		s.ctxWeight[c] = 1
+	}
+	s.infNbrCount = make([]int32, n)
+	for i := 0; i < n; i++ {
+		s.switchTick[i] = -1
+		s.infectivityScale[i] = 1
+		s.susceptibilityScale[i] = 1
+		s.ctxMask[i] = allContexts
+	}
+	s.currentByState[disease.Susceptible] = n
+	s.parts = cfg.Network.PartitionNodes(cfg.Parallelism, cfg.PartitionTolerance)
+
+	if err := s.applySeeding(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// applySeeding moves the configured initial infections into the exposed
+// state on day 0 (seedings for later days are scheduled). Persons are drawn
+// through the population database when one is configured, matching the
+// production start-up path.
+func (s *Sim) applySeeding() error {
+	for _, pid := range s.cfg.SeedPersons {
+		if pid < 0 || int(pid) >= s.net.NumNodes() {
+			return fmt.Errorf("epihiper: seed person %d out of range", pid)
+		}
+		if s.model.IsSusceptible(s.health[pid]) {
+			s.infect(pid, NoInfector, 0)
+		}
+	}
+	byCounty := make(map[int32][]int32)
+	if s.cfg.DB != nil {
+		conn, err := s.cfg.DB.TryConnect()
+		if err != nil {
+			return fmt.Errorf("epihiper: population DB: %w", err)
+		}
+		defer conn.Close()
+		counties, err := conn.Counties()
+		if err != nil {
+			return err
+		}
+		for _, c := range counties {
+			ids, err := conn.PersonsInCounty(c)
+			if err != nil {
+				return err
+			}
+			byCounty[c] = ids
+		}
+	} else {
+		for i := range s.net.Persons {
+			p := &s.net.Persons[i]
+			byCounty[p.CountyFIPS] = append(byCounty[p.CountyFIPS], p.ID)
+		}
+	}
+	for _, seed := range s.cfg.Seeds {
+		ids := byCounty[seed.CountyFIPS]
+		if len(ids) == 0 {
+			continue // county may be empty at small scales
+		}
+		count, day := seed.Count, seed.Day
+		if count > len(ids) {
+			count = len(ids)
+		}
+		// Choose the seeded persons deterministically.
+		r := stats.NewRNG(s.cfg.Seed ^ uint64(seed.CountyFIPS)*0x9E3779B97F4A7C15 ^ uint64(day))
+		perm := r.Perm(len(ids))
+		chosen := make([]int32, count)
+		for i := 0; i < count; i++ {
+			chosen[i] = ids[perm[i]]
+		}
+		sort.Slice(chosen, func(a, b int) bool { return chosen[a] < chosen[b] })
+		if day <= 0 {
+			for _, pid := range chosen {
+				s.infect(pid, NoInfector, 0)
+			}
+		} else {
+			cs := chosen
+			s.Schedule(day, func(sim *Sim) {
+				for _, pid := range cs {
+					if sim.model.IsSusceptible(sim.health[pid]) {
+						sim.infect(pid, NoInfector, day)
+					}
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// infect moves person pid into the model's exposed state at the given tick
+// and samples their onward progression.
+func (s *Sim) infect(pid, infector int32, tick int) {
+	from := s.health[pid]
+	to := s.model.ExposedState
+	s.transitionTo(pid, from, to, infector, tick)
+}
+
+// transitionTo applies a state change, records it, and samples the next
+// progression step.
+func (s *Sim) transitionTo(pid int32, from, to disease.State, infector int32, tick int) {
+	s.health[pid] = to
+	s.currentByState[from]--
+	s.currentByState[to]++
+	s.cumByState[to]++
+	// Maintain the infectious-neighbor counters.
+	wasInf := s.model.IsInfectious(from)
+	isInf := s.model.IsInfectious(to)
+	if wasInf != isInf {
+		var delta int32 = 1
+		if wasInf {
+			delta = -1
+		}
+		for _, e := range s.net.Adj[pid] {
+			s.infNbrCount[e.Neighbor] += delta
+		}
+	}
+	s.todayEvents = append(s.todayEvents, TransitionEvent{PID: pid, From: from, To: to, Infector: infector})
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Record(tick, pid, from, to, infector)
+	}
+	ag := s.net.Persons[pid].AgeGroup()
+	r := s.nodeRNG(pid, tick, phaseProgressionSample)
+	next, dwell, ok := s.model.Next(to, ag, r)
+	if !ok {
+		s.switchTick[pid] = -1
+		return
+	}
+	s.nextState[pid] = next
+	s.switchTick[pid] = int32(tick + dwell)
+}
+
+// RNG phase salts keep the per-(node, tick) streams of different phases
+// independent.
+const (
+	phaseTransmission      uint64 = 0x1000000000000001
+	phaseProgressionSample uint64 = 0x2000000000000002
+)
+
+// nodeRNG returns the deterministic stream for one node at one tick in one
+// phase. Results are therefore independent of partitioning and worker
+// scheduling.
+func (s *Sim) nodeRNG(pid int32, tick int, phase uint64) *stats.RNG {
+	h := s.cfg.Seed
+	h ^= uint64(uint32(pid)) * 0x9E3779B97F4A7C15
+	h ^= uint64(uint32(tick)) * 0xC2B2AE3D27D4EB4F
+	h ^= phase
+	return stats.NewRNG(h)
+}
+
+// effMask returns the currently-enabled contexts of a person, combining the
+// personal mask, global mask and isolation status.
+func (s *Sim) effMask(pid int32) uint8 {
+	m := s.ctxMask[pid] & s.globalCtxMask
+	if int32(s.day) < s.isolatedUntil[pid] {
+		m &= homeOnlyMask
+	}
+	return m
+}
+
+// Day returns the current simulation day.
+func (s *Sim) Day() int { return s.day }
+
+// Model returns the disease model.
+func (s *Sim) Model() *disease.Model { return s.model }
+
+// Network returns the contact network.
+func (s *Sim) Network() *synthpop.Network { return s.net }
+
+// Health returns the health state of a person.
+func (s *Sim) Health(pid int32) disease.State { return s.health[pid] }
+
+// CurrentCount returns the number of persons currently in the state.
+func (s *Sim) CurrentCount(st disease.State) int { return s.currentByState[st] }
+
+// CumulativeCount returns the number of entries into the state so far.
+func (s *Sim) CumulativeCount(st disease.State) int64 { return s.cumByState[st] }
+
+// SetContextEnabled enables or disables one context for a person (an
+// EpiHiper action-ensemble edge operation expressed at the node level).
+func (s *Sim) SetContextEnabled(pid int32, ctx synthpop.Context, enabled bool) {
+	bit := uint8(1) << uint8(ctx)
+	if enabled {
+		s.ctxMask[pid] |= bit
+	} else {
+		s.ctxMask[pid] &^= bit
+	}
+}
+
+// SetContextWeight scales the effective weight of every contact whose
+// source context is ctx (1 = unmodified). Values below 1 model
+// transmission-reducing measures that keep the contacts alive — mask
+// mandates, distancing rules, ventilation.
+func (s *Sim) SetContextWeight(ctx synthpop.Context, factor float64) {
+	if factor < 0 {
+		factor = 0
+	}
+	s.ctxWeight[ctx] = factor
+}
+
+// ContextWeight returns the current weight factor of a context.
+func (s *Sim) ContextWeight(ctx synthpop.Context) float64 { return s.ctxWeight[ctx] }
+
+// SetGlobalContext enables or disables a context network-wide.
+func (s *Sim) SetGlobalContext(ctx synthpop.Context, enabled bool) {
+	bit := uint8(1) << uint8(ctx)
+	if enabled {
+		s.globalCtxMask |= bit
+	} else {
+		s.globalCtxMask &^= bit
+	}
+}
+
+// Isolate confines a person to home contacts until the given day
+// (exclusive). Isolation state contributes to the dynamic-memory account.
+func (s *Sim) Isolate(pid int32, untilDay int) {
+	if int32(untilDay) > s.isolatedUntil[pid] {
+		if s.isolatedUntil[pid] <= int32(s.day) {
+			s.dynamicBytes += perScheduledChangeBytes
+		}
+		s.isolatedUntil[pid] = int32(untilDay)
+	}
+}
+
+// IsIsolated reports whether the person is currently isolated.
+func (s *Sim) IsIsolated(pid int32) bool { return int32(s.day) < s.isolatedUntil[pid] }
+
+// SetSusceptibility sets a person's susceptibility scaling factor.
+func (s *Sim) SetSusceptibility(pid int32, v float64) { s.susceptibilityScale[pid] = float32(v) }
+
+// SetInfectivity sets a person's infectivity scaling factor.
+func (s *Sim) SetInfectivity(pid int32, v float64) { s.infectivityScale[pid] = float32(v) }
+
+// Schedule queues an action to run at the start of the given day. The
+// paper's action ensembles "delay the operation to a later point in the
+// simulation"; the queue length feeds the memory model.
+func (s *Sim) Schedule(day int, fn func(*Sim)) {
+	s.scheduled = append(s.scheduled, scheduledAction{day: day, fn: fn})
+	s.dynamicBytes += perScheduledChangeBytes
+}
+
+// Neighbors returns the adjacency of a person (shared; do not mutate).
+func (s *Sim) Neighbors(pid int32) []synthpop.HalfEdge { return s.net.Adj[pid] }
+
+// TodayEvents returns the transitions recorded so far in the current tick
+// (shared; do not mutate). Interventions use it to react to, e.g., new
+// symptomatic cases.
+func (s *Sim) TodayEvents() []TransitionEvent { return s.todayEvents }
+
+// AddDynamicMemory accounts additional intervention-driven state in the
+// memory model (Figure 10's compliance-proportional growth).
+func (s *Sim) AddDynamicMemory(bytes int64) {
+	s.dynamicBytes += bytes
+	if s.dynamicBytes < 0 {
+		s.dynamicBytes = 0
+	}
+}
+
+const perScheduledChangeBytes = 64
+
+// MemoryBytes models the resident memory of the simulation process: the
+// partitioned network plus per-person state plus the intervention-driven
+// dynamic state (scheduled changes, isolation entries). The paper's
+// Figure 10 shows memory growing at intervention trigger points in
+// proportion to compliance; the dynamic term reproduces that.
+func (s *Sim) MemoryBytes() int64 {
+	static := int64(s.net.NumNodes())*32 + int64(2*s.net.NumEdges())*16
+	return static + s.dynamicBytes
+}
+
+// MemoryTrace returns the per-tick memory samples collected during Run.
+func (s *Sim) MemoryTrace() []int64 { return s.memTrace }

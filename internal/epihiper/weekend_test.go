@@ -1,0 +1,93 @@
+package epihiper
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/synthpop"
+)
+
+// probeContexts runs a short simulation with the given interventions plus
+// a probe that records, for every day, whether each context is globally
+// enabled (as seen by person 0's effective mask, which no other
+// intervention touches here).
+func probeContexts(t *testing.T, ivs []Intervention, days int) map[synthpop.Context][]bool {
+	t.Helper()
+	net := testNetwork(t, 40)
+	out := map[synthpop.Context][]bool{}
+	for c := synthpop.Context(0); c < synthpop.NumContexts; c++ {
+		out[c] = make([]bool, days)
+	}
+	probe := &Triggered{
+		Label: "probe",
+		When:  func(*Sim, int) bool { return true },
+		Do: func(s *Sim, day int, r *stats.RNG) {
+			m := s.effMask(0)
+			for c := synthpop.Context(0); c < synthpop.NumContexts; c++ {
+				out[c][day] = m&(1<<uint8(c)) != 0
+			}
+		},
+	}
+	cfg := baseConfig(net, 1300)
+	cfg.Days = days
+	cfg.Interventions = append(ivs, probe)
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestWeekendScheduleTogglesContexts(t *testing.T) {
+	ctx := probeContexts(t, []Intervention{&WeekendSchedule{SundayReligion: true}}, 14)
+	for day := 0; day < 14; day++ {
+		dow := day % 7
+		weekend := dow == 5 || dow == 6
+		if ctx[synthpop.CtxWork][day] == weekend {
+			t.Fatalf("day %d: work context enabled=%v on weekend=%v", day, ctx[synthpop.CtxWork][day], weekend)
+		}
+		if ctx[synthpop.CtxSchool][day] == weekend {
+			t.Fatalf("day %d: school context wrong", day)
+		}
+		wantReligion := dow == 6
+		if ctx[synthpop.CtxReligion][day] != wantReligion {
+			t.Fatalf("day %d: religion enabled=%v want %v", day, ctx[synthpop.CtxReligion][day], wantReligion)
+		}
+		// Home is never touched.
+		if !ctx[synthpop.CtxHome][day] {
+			t.Fatalf("day %d: home context disabled", day)
+		}
+	}
+}
+
+func TestWeekendScheduleWithoutSundayReligion(t *testing.T) {
+	ctx := probeContexts(t, []Intervention{&WeekendSchedule{}}, 7)
+	for day := 0; day < 7; day++ {
+		if !ctx[synthpop.CtxReligion][day] {
+			t.Fatalf("day %d: religion disabled without SundayReligion", day)
+		}
+	}
+}
+
+// School closure wins over the weekend schedule on weekdays when ordered
+// after it.
+func TestWeekendComposesWithSchoolClosure(t *testing.T) {
+	ctx := probeContexts(t, []Intervention{
+		&WeekendSchedule{},
+		&SchoolClosure{StartDay: 3, EndDay: 100},
+	}, 14)
+	for day := 0; day < 14; day++ {
+		if day >= 3 && ctx[synthpop.CtxSchool][day] {
+			t.Fatalf("day %d: school open during closure", day)
+		}
+		// Work still follows the weekly rhythm.
+		dow := day % 7
+		weekend := dow == 5 || dow == 6
+		if ctx[synthpop.CtxWork][day] == weekend {
+			t.Fatalf("day %d: work rhythm broken by SC", day)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// LOOCV computes leave-one-out cross-validation residuals for a fitted GP
+// without refitting: for a zero-mean GP with covariance C (correlation plus
+// nugget), the classical identities give
+//
+//	e_i = α_i / [C⁻¹]_{ii},   s²_i = 1 / (λ [C⁻¹]_{ii}),
+//
+// where α = C⁻¹w. The returned residuals are the held-out prediction
+// errors e_i and their predictive variances — the standard emulator
+// diagnostic (standardized residuals ≈ N(0,1) for a well-specified fit).
+func (g *GP) LOOCV() (residuals, variances []float64, err error) {
+	n := len(g.X)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("gp: LOOCV on empty design")
+	}
+	// Compute C⁻¹ column by column from the stored Cholesky factor.
+	residuals = make([]float64, n)
+	variances = make([]float64, n)
+	e := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for k := range e {
+			e[k] = 0
+		}
+		e[i] = 1
+		col := linalg.SolveCholesky(g.chol, e)
+		cii := col[i]
+		if cii <= 0 {
+			return nil, nil, fmt.Errorf("gp: non-positive C⁻¹ diagonal at %d", i)
+		}
+		residuals[i] = g.alpha[i] / cii
+		variances[i] = 1 / (g.Lambda * cii)
+	}
+	return residuals, variances, nil
+}
+
+// LOOCVSummary reports RMSE of the held-out residuals and the fraction of
+// standardized residuals within ±2 (expected ≈ 0.95 for a well-calibrated
+// emulator).
+type LOOCVSummary struct {
+	RMSE            float64
+	Within2SDFrac   float64
+	MaxStandardized float64
+}
+
+// Summary runs LOOCV and aggregates the diagnostics.
+func (g *GP) Summary() (LOOCVSummary, error) {
+	res, vars, err := g.LOOCV()
+	if err != nil {
+		return LOOCVSummary{}, err
+	}
+	var sum float64
+	within := 0
+	maxZ := 0.0
+	for i := range res {
+		sum += res[i] * res[i]
+		sd := math.Sqrt(vars[i])
+		if sd == 0 {
+			sd = 1e-12
+		}
+		z := math.Abs(res[i]) / sd
+		if z <= 2 {
+			within++
+		}
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	return LOOCVSummary{
+		RMSE:            math.Sqrt(sum / float64(len(res))),
+		Within2SDFrac:   float64(within) / float64(len(res)),
+		MaxStandardized: maxZ,
+	}, nil
+}

@@ -1,0 +1,125 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestLOOCVMatchesRefit(t *testing.T) {
+	// Verify the shortcut identity against brute-force refitting with
+	// fixed hyperparameters.
+	x := designFor(t, 20, 15, 1)
+	w := make([]float64, len(x))
+	for i := range x {
+		w[i] = math.Sin(5 * x[i][0])
+	}
+	g, err := Fit(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, vars, err := g.LOOCV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(x) || len(vars) != len(x) {
+		t.Fatal("shape wrong")
+	}
+	// Brute force: refit without point i (same rho/nugget) and predict.
+	for i := 0; i < len(x); i += 4 {
+		var xi [][]float64
+		var wi []float64
+		for j := range x {
+			if j != i {
+				xi = append(xi, x[j])
+				wi = append(wi, w[j])
+			}
+		}
+		held := refitPredict(t, xi, wi, g.Rho, g.Nugget, g.Lambda, x[i])
+		gotErr := w[i] - held
+		if math.Abs(gotErr-res[i]) > 1e-6*(1+math.Abs(gotErr)) {
+			t.Fatalf("point %d: LOOCV residual %v, brute force %v", i, res[i], gotErr)
+		}
+	}
+}
+
+// refitPredict computes the GP posterior mean at theta using the given
+// hyperparameters and a reduced design.
+func refitPredict(t *testing.T, x [][]float64, w []float64, rho []float64, nugget, lambda float64, theta []float64) float64 {
+	t.Helper()
+	c := corrMatrix(x, rho, nugget)
+	l, err := linalg.Cholesky(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := linalg.SolveCholesky(l, w)
+	r := make([]float64, len(x))
+	for i := range x {
+		r[i] = corr(theta, x[i], rho)
+	}
+	s := 0.0
+	for i := range r {
+		s += r[i] * alpha[i]
+	}
+	return s
+}
+
+func TestLOOCVSummaryWellSpecified(t *testing.T) {
+	x := designFor(t, 21, 40, 2)
+	w := make([]float64, len(x))
+	for i := range x {
+		w[i] = x[i][0] + 0.5*math.Sin(6*x[i][1])
+	}
+	g, err := Fit(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := g.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.RMSE < 0 || math.IsNaN(sum.RMSE) {
+		t.Fatalf("bad RMSE %v", sum.RMSE)
+	}
+	// A smooth function should be predicted well out of sample.
+	if sum.RMSE > 0.2 {
+		t.Fatalf("LOOCV RMSE %v too high for a smooth 2-d function", sum.RMSE)
+	}
+	if sum.Within2SDFrac < 0.6 {
+		t.Fatalf("only %v of standardized residuals within 2sd", sum.Within2SDFrac)
+	}
+}
+
+func TestLOOCVFlagsModelMisfit(t *testing.T) {
+	// A discontinuous function: held-out errors near the step should be
+	// large relative to the smooth case.
+	x := designFor(t, 22, 40, 1)
+	smooth := make([]float64, len(x))
+	step := make([]float64, len(x))
+	for i := range x {
+		smooth[i] = x[i][0]
+		if x[i][0] > 0.5 {
+			step[i] = 1
+		}
+	}
+	gS, err := Fit(x, smooth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gD, err := Fit(x, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumS, err := gS.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumD, err := gD.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumD.RMSE <= sumS.RMSE {
+		t.Fatalf("step RMSE %v should exceed smooth %v", sumD.RMSE, sumS.RMSE)
+	}
+}

@@ -1,0 +1,272 @@
+// Package metapop implements the county-level metapopulation SEIR model of
+// the paper's case study 2: mechanistic SEIR dynamics within each county of
+// a state, coupled through a commuting matrix, "cheap to run" so that
+// calibration can simulate directly inside the MCMC loop (Appendix E,
+// "Metapopulation Model Calibration").
+package metapop
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/synthpop"
+)
+
+// County is one patch of the metapopulation.
+type County struct {
+	FIPS int32
+	Pop  float64
+}
+
+// Model is a fixed geography: counties plus a row-stochastic coupling
+// matrix; Coupling[i][j] is the fraction of county i's effective contacts
+// spent in county j.
+type Model struct {
+	State    string
+	Counties []County
+	Coupling [][]float64
+	// links, when non-nil, replaces Coupling with a sparse structure
+	// (see SetSparseLinks / NewUS).
+	links [][]Link
+}
+
+// Params are the disease-dynamics parameters explored by calibration.
+type Params struct {
+	Beta   float64 // transmission rate (per day)
+	Sigma  float64 // 1 / latent period
+	Gamma  float64 // 1 / infectious period
+	Detect float64 // fraction of infections that become confirmed cases
+}
+
+// R0 returns the basic reproduction number of the parameters.
+func (p Params) R0() float64 {
+	if p.Gamma == 0 {
+		return 0
+	}
+	return p.Beta / p.Gamma
+}
+
+// Scenario modifies transmission over a time window: Beta is multiplied by
+// Factor for days in [Start, End). The paper's case study 2 models five
+// scenarios of social-distancing timing and strength this way.
+type Scenario struct {
+	Name       string
+	Start, End int
+	Factor     float64
+}
+
+// NewFromState builds a model whose counties follow the same Zipf
+// population profile used by the other substrates, with gravity-style
+// commuting coupling.
+func NewFromState(st synthpop.StateInfo, selfWeight float64) (*Model, error) {
+	if st.Counties <= 0 {
+		return nil, fmt.Errorf("metapop: state %s has no counties", st.Code)
+	}
+	if selfWeight <= 0 || selfWeight >= 1 {
+		selfWeight = 0.85
+	}
+	m := &Model{State: st.Code}
+	weights := make([]float64, st.Counties)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 0.8)
+		total += weights[i]
+	}
+	for c := 0; c < st.Counties; c++ {
+		pop := float64(st.Population) * weights[c] / total
+		if pop < 100 {
+			pop = 100
+		}
+		m.Counties = append(m.Counties, County{FIPS: int32(synthpop.CountyFIPS(st.FIPS, c)), Pop: pop})
+	}
+	// Gravity coupling: off-diagonal mass proportional to destination
+	// population, diagonal fixed at selfWeight.
+	m.Coupling = make([][]float64, st.Counties)
+	for i := range m.Coupling {
+		row := make([]float64, st.Counties)
+		var offTotal float64
+		for j := range row {
+			if j != i {
+				offTotal += m.Counties[j].Pop
+			}
+		}
+		for j := range row {
+			if j == i {
+				row[j] = selfWeight
+			} else if offTotal > 0 {
+				row[j] = (1 - selfWeight) * m.Counties[j].Pop / offTotal
+			}
+		}
+		m.Coupling[i] = row
+	}
+	return m, nil
+}
+
+// Trajectory is the output of one run: per-county daily series.
+type Trajectory struct {
+	Days int
+	// NewConfirmed[c][d] is county c's confirmed new cases on day d.
+	NewConfirmed [][]float64
+	// Infectious[c][d] is county c's infectious prevalence at day d.
+	Infectious [][]float64
+}
+
+// StateNewConfirmed sums daily confirmed cases over counties.
+func (t *Trajectory) StateNewConfirmed() []float64 {
+	out := make([]float64, t.Days)
+	for _, s := range t.NewConfirmed {
+		for d, v := range s {
+			out[d] += v
+		}
+	}
+	return out
+}
+
+// StateCumConfirmed returns the state-level cumulative confirmed series.
+func (t *Trajectory) StateCumConfirmed() []float64 {
+	daily := t.StateNewConfirmed()
+	out := make([]float64, len(daily))
+	acc := 0.0
+	for d, v := range daily {
+		acc += v
+		out[d] = acc
+	}
+	return out
+}
+
+// CountyCumConfirmed returns one county's cumulative confirmed series.
+func (t *Trajectory) CountyCumConfirmed(c int) []float64 {
+	out := make([]float64, t.Days)
+	acc := 0.0
+	for d := 0; d < t.Days; d++ {
+		acc += t.NewConfirmed[c][d]
+		out[d] = acc
+	}
+	return out
+}
+
+// Seed places initial infectious individuals in a county.
+type Seed struct {
+	CountyIndex int
+	Infectious  float64
+}
+
+// Run integrates the coupled SEIR system for the given horizon with
+// deterministic daily Euler steps. Scenario windows scale Beta. The run is
+// O(days × counties²) from the coupling product — cheap, as the paper
+// requires for in-loop calibration.
+func (m *Model) Run(p Params, days int, seeds []Seed, scenarios []Scenario) (*Trajectory, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("metapop: non-positive horizon %d", days)
+	}
+	if p.Beta < 0 || p.Sigma <= 0 || p.Sigma > 1 || p.Gamma <= 0 || p.Gamma > 1 || p.Detect < 0 || p.Detect > 1 {
+		return nil, fmt.Errorf("metapop: bad parameters %+v", p)
+	}
+	n := len(m.Counties)
+	s := make([]float64, n)
+	e := make([]float64, n)
+	i := make([]float64, n)
+	r := make([]float64, n)
+	for c := range m.Counties {
+		s[c] = m.Counties[c].Pop
+	}
+	for _, sd := range seeds {
+		if sd.CountyIndex < 0 || sd.CountyIndex >= n {
+			return nil, fmt.Errorf("metapop: seed county %d out of range", sd.CountyIndex)
+		}
+		amount := math.Min(sd.Infectious, s[sd.CountyIndex])
+		s[sd.CountyIndex] -= amount
+		i[sd.CountyIndex] += amount
+	}
+	traj := &Trajectory{Days: days}
+	traj.NewConfirmed = make([][]float64, n)
+	traj.Infectious = make([][]float64, n)
+	for c := 0; c < n; c++ {
+		traj.NewConfirmed[c] = make([]float64, days)
+		traj.Infectious[c] = make([]float64, days)
+	}
+	// Effective infectious pressure per county: lambda_c = beta *
+	// sum_j coupling[c][j] * I_j / N_j.
+	for d := 0; d < days; d++ {
+		beta := p.Beta
+		for _, sc := range scenarios {
+			if d >= sc.Start && d < sc.End {
+				beta *= sc.Factor
+			}
+		}
+		for c := 0; c < n; c++ {
+			lambda := beta * m.lambdaAt(c, i)
+			newExposed := lambda * s[c]
+			if newExposed > s[c] {
+				newExposed = s[c]
+			}
+			newInfectious := p.Sigma * e[c]
+			newRecovered := p.Gamma * i[c]
+			s[c] -= newExposed
+			e[c] += newExposed - newInfectious
+			i[c] += newInfectious - newRecovered
+			r[c] += newRecovered
+			traj.NewConfirmed[c][d] = p.Detect * newInfectious
+			traj.Infectious[c][d] = i[c]
+		}
+	}
+	return traj, nil
+}
+
+// RunStochastic integrates the same dynamics with binomial transition noise
+// (chain-binomial), used when replicate variability matters.
+func (m *Model) RunStochastic(p Params, days int, seeds []Seed, scenarios []Scenario, rng *stats.RNG) (*Trajectory, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("metapop: non-positive horizon %d", days)
+	}
+	if p.Beta < 0 || p.Sigma <= 0 || p.Sigma > 1 || p.Gamma <= 0 || p.Gamma > 1 {
+		return nil, fmt.Errorf("metapop: bad parameters %+v", p)
+	}
+	n := len(m.Counties)
+	s := make([]int, n)
+	e := make([]int, n)
+	i := make([]int, n)
+	for c := range m.Counties {
+		s[c] = int(m.Counties[c].Pop)
+	}
+	for _, sd := range seeds {
+		amt := int(sd.Infectious)
+		if amt > s[sd.CountyIndex] {
+			amt = s[sd.CountyIndex]
+		}
+		s[sd.CountyIndex] -= amt
+		i[sd.CountyIndex] += amt
+	}
+	traj := &Trajectory{Days: days}
+	traj.NewConfirmed = make([][]float64, n)
+	traj.Infectious = make([][]float64, n)
+	for c := 0; c < n; c++ {
+		traj.NewConfirmed[c] = make([]float64, days)
+		traj.Infectious[c] = make([]float64, days)
+	}
+	infectious := make([]float64, n)
+	for d := 0; d < days; d++ {
+		beta := p.Beta
+		for _, sc := range scenarios {
+			if d >= sc.Start && d < sc.End {
+				beta *= sc.Factor
+			}
+		}
+		for c := 0; c < n; c++ {
+			infectious[c] = float64(i[c])
+		}
+		for c := 0; c < n; c++ {
+			pInf := 1 - math.Exp(-beta*m.lambdaAt(c, infectious))
+			newE := rng.Binomial(s[c], pInf)
+			newI := rng.Binomial(e[c], 1-math.Exp(-p.Sigma))
+			newR := rng.Binomial(i[c], 1-math.Exp(-p.Gamma))
+			s[c] -= newE
+			e[c] += newE - newI
+			i[c] += newI - newR
+			traj.NewConfirmed[c][d] = p.Detect * float64(newI)
+			traj.Infectious[c][d] = float64(i[c])
+		}
+	}
+	return traj, nil
+}

@@ -1,0 +1,291 @@
+package metapop
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/surveillance"
+	"repro/internal/synthpop"
+)
+
+func testModel(t testing.TB) *Model {
+	t.Helper()
+	ri, err := synthpop.StateByCode("RI") // 5 counties: fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewFromState(ri, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func defaultParams() Params {
+	return Params{Beta: 0.5, Sigma: 1.0 / 3.0, Gamma: 1.0 / 5.0, Detect: 0.2}
+}
+
+func TestNewFromState(t *testing.T) {
+	m := testModel(t)
+	if len(m.Counties) != 5 {
+		t.Fatalf("%d counties want 5", len(m.Counties))
+	}
+	// Coupling rows are stochastic.
+	for i, row := range m.Coupling {
+		sum := 0.0
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative coupling at row %d", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+		if row[i] != 0.85 {
+			t.Fatalf("diagonal %v want 0.85", row[i])
+		}
+	}
+	// County populations descending (Zipf).
+	for c := 1; c < len(m.Counties); c++ {
+		if m.Counties[c].Pop > m.Counties[c-1].Pop {
+			t.Fatal("county populations not descending")
+		}
+	}
+}
+
+func TestRunEpidemicGrows(t *testing.T) {
+	m := testModel(t)
+	traj, err := m.Run(defaultParams(), 120, []Seed{{CountyIndex: 0, Infectious: 10}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum := traj.StateCumConfirmed()
+	if cum[119] < 100 {
+		t.Fatalf("epidemic did not grow: %v cumulative", cum[119])
+	}
+	for d := 1; d < len(cum); d++ {
+		if cum[d] < cum[d-1]-1e-9 {
+			t.Fatal("cumulative decreased")
+		}
+	}
+}
+
+func TestR0ControlsGrowth(t *testing.T) {
+	m := testModel(t)
+	seeds := []Seed{{CountyIndex: 0, Infectious: 10}}
+	low := defaultParams()
+	low.Beta = 0.1 // R0 = 0.5: dies out
+	high := defaultParams()
+	high.Beta = 0.6 // R0 = 3
+	tl, err := m.Run(low, 150, seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := m.Run(high, 150, seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tl.StateCumConfirmed()
+	ch := th.StateCumConfirmed()
+	if ch[149] < 10*cl[149] {
+		t.Fatalf("R0=3 (%v) should vastly exceed R0=0.5 (%v)", ch[149], cl[149])
+	}
+	if low.R0() != 0.5 || math.Abs(high.R0()-3) > 1e-9 {
+		t.Fatal("R0 computation wrong")
+	}
+}
+
+func TestEpidemicSpreadsAcrossCounties(t *testing.T) {
+	m := testModel(t)
+	traj, err := m.Run(defaultParams(), 150, []Seed{{CountyIndex: 0, Infectious: 5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every county eventually sees cases through the coupling.
+	for c := range m.Counties {
+		cum := traj.CountyCumConfirmed(c)
+		if cum[149] <= 0 {
+			t.Fatalf("county %d never infected", c)
+		}
+	}
+	// Seeded county leads early.
+	if traj.CountyCumConfirmed(0)[30] <= traj.CountyCumConfirmed(4)[30] {
+		t.Fatal("seeded county does not lead")
+	}
+}
+
+func TestScenarioReducesCases(t *testing.T) {
+	m := testModel(t)
+	seeds := []Seed{{CountyIndex: 0, Infectious: 10}}
+	base, err := m.Run(defaultParams(), 150, seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := m.Run(defaultParams(), 150, seeds,
+		[]Scenario{{Name: "SD", Start: 20, End: 150, Factor: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.StateCumConfirmed()[149] >= base.StateCumConfirmed()[149] {
+		t.Fatal("social distancing scenario did not reduce cases")
+	}
+}
+
+func TestPopulationConservedDeterministic(t *testing.T) {
+	m := testModel(t)
+	p := defaultParams()
+	p.Detect = 1
+	traj, err := m.Run(p, 300, []Seed{{CountyIndex: 0, Infectious: 10}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total confirmed (all infections at Detect=1) cannot exceed population.
+	var totalPop float64
+	for _, c := range m.Counties {
+		totalPop += c.Pop
+	}
+	if final := traj.StateCumConfirmed()[299]; final > totalPop {
+		t.Fatalf("confirmed %v exceeds population %v", final, totalPop)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := testModel(t)
+	if _, err := m.Run(defaultParams(), 0, nil, nil); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := defaultParams()
+	bad.Gamma = 0
+	if _, err := m.Run(bad, 10, nil, nil); err == nil {
+		t.Error("zero gamma accepted")
+	}
+	if _, err := m.Run(defaultParams(), 10, []Seed{{CountyIndex: 99}}, nil); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	// σ and γ are daily probabilities: values above 1 would drive
+	// compartments negative under the Euler step.
+	badSigma := defaultParams()
+	badSigma.Sigma = 1.5
+	if _, err := m.Run(badSigma, 10, nil, nil); err == nil {
+		t.Error("sigma > 1 accepted")
+	}
+	badGamma := defaultParams()
+	badGamma.Gamma = 2
+	if _, err := m.RunStochastic(badGamma, 10, nil, nil, stats.NewRNG(1)); err == nil {
+		t.Error("gamma > 1 accepted in stochastic run")
+	}
+}
+
+func TestRunStochasticMatchesDeterministicInMean(t *testing.T) {
+	m := testModel(t)
+	p := defaultParams()
+	seeds := []Seed{{CountyIndex: 0, Infectious: 20}}
+	det, err := m.Run(p, 100, seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(5)
+	var mean float64
+	const reps = 10
+	for i := 0; i < reps; i++ {
+		st, err := m.RunStochastic(p, 100, seeds, nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += st.StateCumConfirmed()[99] / reps
+	}
+	want := det.StateCumConfirmed()[99]
+	if math.Abs(mean-want) > 0.5*want {
+		t.Fatalf("stochastic mean %v far from deterministic %v", mean, want)
+	}
+}
+
+func TestCalibrateRecoversBeta(t *testing.T) {
+	m := testModel(t)
+	trueParams := Params{Beta: 0.45, Sigma: 1.0 / 3.0, Gamma: 1.0 / 5.0, Detect: 0.25}
+	seeds := []Seed{{CountyIndex: 0, Infectious: 10}}
+	traj, err := m.Run(trueParams, 120, seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a truth whose counties are the model's own output.
+	truth := &surveillance.StateTruth{State: "RI", Days: 120}
+	for c := range m.Counties {
+		truth.Counties = append(truth.Counties, surveillance.CountySeries{
+			FIPS: m.Counties[c].FIPS, Pop: int(m.Counties[c].Pop),
+			Daily: traj.NewConfirmed[c],
+		})
+	}
+	res, err := m.Calibrate(truth, CalibConfig{
+		BetaLo: 0.2, BetaHi: 0.8, DetectLo: 0.05, DetectHi: 0.6,
+		Sigma: trueParams.Sigma, Gamma: trueParams.Gamma,
+		Days: 120, Seeds: seeds, Steps: 300, BurnIn: 300, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Posterior) == 0 {
+		t.Fatal("empty posterior")
+	}
+	if math.Abs(res.MAP.Beta-trueParams.Beta) > 0.08 {
+		t.Fatalf("MAP beta %v want ≈%v", res.MAP.Beta, trueParams.Beta)
+	}
+	if res.AcceptRate <= 0 || res.AcceptRate >= 1 {
+		t.Fatalf("degenerate acceptance rate %v", res.AcceptRate)
+	}
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	m := testModel(t)
+	truth := &surveillance.StateTruth{State: "RI", Days: 10}
+	if _, err := m.Calibrate(truth, CalibConfig{BetaLo: 1, BetaHi: 0, DetectLo: 0, DetectHi: 1}); err == nil {
+		t.Error("inverted beta range accepted")
+	}
+	if _, err := m.Calibrate(truth, CalibConfig{BetaLo: 0, BetaHi: 1, DetectLo: 1, DetectHi: 0}); err == nil {
+		t.Error("inverted detect range accepted")
+	}
+}
+
+func TestPredictBandOrdered(t *testing.T) {
+	m := testModel(t)
+	post := []Params{
+		{Beta: 0.4, Sigma: 1.0 / 3, Gamma: 1.0 / 5, Detect: 0.2},
+		{Beta: 0.45, Sigma: 1.0 / 3, Gamma: 1.0 / 5, Detect: 0.2},
+		{Beta: 0.5, Sigma: 1.0 / 3, Gamma: 1.0 / 5, Detect: 0.2},
+		{Beta: 0.55, Sigma: 1.0 / 3, Gamma: 1.0 / 5, Detect: 0.2},
+	}
+	lo, med, hi, err := m.PredictBand(post, 80, []Seed{{CountyIndex: 0, Infectious: 10}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 80; d++ {
+		if lo[d] > med[d] || med[d] > hi[d] {
+			t.Fatalf("band not ordered at day %d", d)
+		}
+	}
+	if _, _, _, err := m.PredictBand(nil, 10, nil, nil); err == nil {
+		t.Fatal("empty posterior accepted")
+	}
+}
+
+func TestLogLikelihoodPrefersTruth(t *testing.T) {
+	m := testModel(t)
+	p := defaultParams()
+	seeds := []Seed{{CountyIndex: 0, Infectious: 10}}
+	traj, _ := m.Run(p, 100, seeds, nil)
+	truth := &surveillance.StateTruth{State: "RI", Days: 100}
+	for c := range m.Counties {
+		truth.Counties = append(truth.Counties, surveillance.CountySeries{
+			FIPS: m.Counties[c].FIPS, Daily: traj.NewConfirmed[c],
+		})
+	}
+	exact := LogLikelihood(truth, traj)
+	off := p
+	off.Beta = 0.8
+	trajOff, _ := m.Run(off, 100, seeds, nil)
+	if LogLikelihood(truth, trajOff) >= exact {
+		t.Fatal("likelihood does not prefer generating parameters")
+	}
+}

@@ -1,0 +1,129 @@
+package output
+
+import (
+	"math"
+	"sort"
+)
+
+// This file adds the epidemiological analytics the workflow's "analytics
+// that combine the simulation output, surveillance data and detailed
+// synthetic data" step computes from dendograms: the effective reproduction
+// number over time and the generation-interval distribution — products the
+// policy assessments consume.
+
+// RtSeries estimates the effective reproduction number by infection cohort:
+// Rt[t] is the mean number of secondary infections caused by persons who
+// were themselves infected during the window [t, t+window). Cohorts whose
+// members were infected too close to the end of the horizon would be
+// right-censored; the caller should ignore the trailing windows.
+func (d *Dendogram) RtSeries(horizonTicks, window int) []float64 {
+	if window <= 0 {
+		window = 7
+	}
+	numWindows := (horizonTicks + window - 1) / window
+	if numWindows <= 0 {
+		return nil
+	}
+	offspring := make([]float64, numWindows)
+	cohort := make([]float64, numWindows)
+	for pid, tick := range d.InfectedAt {
+		w := int(tick) / window
+		if w >= numWindows {
+			continue
+		}
+		cohort[w]++
+		offspring[w] += float64(len(d.Children[pid]))
+	}
+	out := make([]float64, numWindows)
+	for w := range out {
+		if cohort[w] > 0 {
+			out[w] = offspring[w] / cohort[w]
+		} else {
+			out[w] = math.NaN()
+		}
+	}
+	return out
+}
+
+// GenerationIntervals returns the infector-to-infectee timing gaps (in
+// ticks) across the forest, sorted ascending.
+func (d *Dendogram) GenerationIntervals() []float64 {
+	var out []float64
+	for parent, kids := range d.Children {
+		pt, ok := d.InfectedAt[parent]
+		if !ok {
+			continue
+		}
+		for _, k := range kids {
+			out = append(out, float64(d.InfectedAt[k]-pt))
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// MeanGenerationInterval returns the average generation interval, or NaN
+// for an empty forest.
+func (d *Dendogram) MeanGenerationInterval() float64 {
+	gi := d.GenerationIntervals()
+	if len(gi) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range gi {
+		s += v
+	}
+	return s / float64(len(gi))
+}
+
+// TopSpreaders returns the n persons with the most direct secondary cases,
+// in descending order — superspreading analysis.
+type Spreader struct {
+	PID       int32
+	Secondary int
+}
+
+// TopSpreaders returns up to n spreaders sorted by offspring count.
+func (d *Dendogram) TopSpreaders(n int) []Spreader {
+	out := make([]Spreader, 0, len(d.Children))
+	for pid, kids := range d.Children {
+		if len(kids) > 0 {
+			out = append(out, Spreader{PID: pid, Secondary: len(kids)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Secondary != out[j].Secondary {
+			return out[i].Secondary > out[j].Secondary
+		}
+		return out[i].PID < out[j].PID
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Dispersion estimates the offspring-distribution dispersion via the
+// moment identity k ≈ m² / (v − m) for a negative-binomial offspring
+// distribution with mean m and variance v. Small k (≪ 1) indicates
+// superspreading; +Inf indicates Poisson-like homogeneity.
+func (d *Dendogram) Dispersion() float64 {
+	sc := d.SecondaryCases()
+	if len(sc) < 2 {
+		return math.NaN()
+	}
+	m, v := 0.0, 0.0
+	for _, c := range sc {
+		m += float64(c)
+	}
+	m /= float64(len(sc))
+	for _, c := range sc {
+		dd := float64(c) - m
+		v += dd * dd
+	}
+	v /= float64(len(sc) - 1)
+	if v <= m {
+		return math.Inf(1)
+	}
+	return m * m / (v - m)
+}

@@ -1,0 +1,145 @@
+package output
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/disease"
+	"repro/internal/epihiper"
+)
+
+// chainLog builds a known forest: 0 infects 1 and 2 at ticks 3 and 5;
+// 1 infects 3 at tick 8; 4 is an isolated seed.
+func chainLog() *TransitionLog {
+	l := &TransitionLog{}
+	l.Record(0, 0, disease.Susceptible, disease.Exposed, epihiper.NoInfector)
+	l.Record(0, 4, disease.Susceptible, disease.Exposed, epihiper.NoInfector)
+	l.Record(3, 1, disease.Susceptible, disease.Exposed, 0)
+	l.Record(5, 2, disease.Susceptible, disease.Exposed, 0)
+	l.Record(8, 3, disease.Susceptible, disease.Exposed, 1)
+	return l
+}
+
+func TestRtSeriesKnownForest(t *testing.T) {
+	d := BuildDendogram(chainLog(), disease.Exposed)
+	rt := d.RtSeries(14, 7)
+	if len(rt) != 2 {
+		t.Fatalf("%d windows want 2", len(rt))
+	}
+	// Window 0 cohort: persons 0, 4, 1, 2 (ticks 0,0,3,5) with offspring
+	// 2+0+1+0 = 3 → Rt = 0.75.
+	if math.Abs(rt[0]-0.75) > 1e-12 {
+		t.Fatalf("Rt[0] = %v want 0.75", rt[0])
+	}
+	// Window 1 cohort: person 3 with no offspring → 0.
+	if rt[1] != 0 {
+		t.Fatalf("Rt[1] = %v want 0", rt[1])
+	}
+}
+
+func TestRtSeriesEmptyWindowIsNaN(t *testing.T) {
+	d := BuildDendogram(chainLog(), disease.Exposed)
+	rt := d.RtSeries(28, 7)
+	if !math.IsNaN(rt[3]) {
+		t.Fatalf("empty window should be NaN, got %v", rt[3])
+	}
+}
+
+func TestGenerationIntervals(t *testing.T) {
+	d := BuildDendogram(chainLog(), disease.Exposed)
+	gi := d.GenerationIntervals()
+	want := []float64{3, 5, 5} // 0→1 at 3, 0→2 at 5, 1→3 at 8−3=5
+	if len(gi) != len(want) {
+		t.Fatalf("%d intervals want %d", len(gi), len(want))
+	}
+	for i := range want {
+		if gi[i] != want[i] {
+			t.Fatalf("intervals %v want %v", gi, want)
+		}
+	}
+	if m := d.MeanGenerationInterval(); math.Abs(m-13.0/3.0) > 1e-12 {
+		t.Fatalf("mean interval %v", m)
+	}
+}
+
+func TestMeanGenerationIntervalEmpty(t *testing.T) {
+	d := BuildDendogram(&TransitionLog{}, disease.Exposed)
+	if !math.IsNaN(d.MeanGenerationInterval()) {
+		t.Fatal("empty forest should have NaN mean interval")
+	}
+}
+
+func TestTopSpreaders(t *testing.T) {
+	d := BuildDendogram(chainLog(), disease.Exposed)
+	top := d.TopSpreaders(5)
+	if len(top) != 2 {
+		t.Fatalf("%d spreaders want 2", len(top))
+	}
+	if top[0].PID != 0 || top[0].Secondary != 2 {
+		t.Fatalf("top spreader %+v", top[0])
+	}
+	if top[1].PID != 1 || top[1].Secondary != 1 {
+		t.Fatalf("second spreader %+v", top[1])
+	}
+	if len(d.TopSpreaders(1)) != 1 {
+		t.Fatal("cap not applied")
+	}
+}
+
+func TestDispersion(t *testing.T) {
+	d := BuildDendogram(chainLog(), disease.Exposed)
+	k := d.Dispersion()
+	if math.IsNaN(k) || k <= 0 {
+		t.Fatalf("dispersion %v", k)
+	}
+	// A homogeneous forest (everyone one offspring in a chain) has
+	// variance < mean → +Inf dispersion.
+	l := &TransitionLog{}
+	l.Record(0, 0, disease.Susceptible, disease.Exposed, epihiper.NoInfector)
+	l.Record(2, 1, disease.Susceptible, disease.Exposed, 0)
+	l.Record(4, 2, disease.Susceptible, disease.Exposed, 1)
+	l.Record(6, 3, disease.Susceptible, disease.Exposed, 2)
+	chain := BuildDendogram(l, disease.Exposed)
+	if !math.IsInf(chain.Dispersion(), 1) {
+		t.Fatalf("chain dispersion %v want +Inf", chain.Dispersion())
+	}
+}
+
+// On a real simulated epidemic, Rt starts above 1 (growth) and ends below
+// 1 (depletion), and the mean generation interval is plausible for the
+// COVID model (3–10 days).
+func TestAnalyticsOnSimulatedEpidemic(t *testing.T) {
+	net := testNet(t)
+	log, _, res := runLogged(t, net, 90)
+	if res.TotalInfections < 50 {
+		t.Skip("epidemic too small for Rt analysis in this draw")
+	}
+	d := BuildDendogram(log, disease.Exposed)
+	rt := d.RtSeries(90, 7)
+	// First non-empty window with a meaningful cohort should show growth.
+	var early float64
+	for _, v := range rt[:4] {
+		if !math.IsNaN(v) && v > 0 {
+			early = v
+			break
+		}
+	}
+	if early <= 1 {
+		t.Fatalf("early Rt %v should exceed 1 during growth", early)
+	}
+	gi := d.MeanGenerationInterval()
+	if gi < 2 || gi > 12 {
+		t.Fatalf("mean generation interval %v days implausible", gi)
+	}
+	// Late cohorts (excluding right-censored tail) decline below early.
+	var late float64 = math.NaN()
+	for w := len(rt) - 3; w >= len(rt)-5 && w >= 0; w-- {
+		if !math.IsNaN(rt[w]) {
+			late = rt[w]
+			break
+		}
+	}
+	if !math.IsNaN(late) && late >= early {
+		t.Fatalf("Rt did not decline: early %v late %v", early, late)
+	}
+}

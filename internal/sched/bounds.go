@@ -1,0 +1,39 @@
+package sched
+
+// This file provides the lower bounds the paper's worst-case guarantees are
+// stated against: "Without the database constraints, the NFDT-DC and
+// FFDT-DC algorithms have worst-case performance guarantees of 2 and 17/10
+// respectively" — guarantees on makespan relative to the optimal strip
+// height.
+
+// MakespanLowerBound returns a lower bound on any schedule's makespan: the
+// larger of the area bound (total node-seconds / strip width) and the
+// longest single task.
+func MakespanLowerBound(tasks []Task, totalNodes int) float64 {
+	if totalNodes <= 0 {
+		return 0
+	}
+	area := 0.0
+	longest := 0.0
+	for _, t := range tasks {
+		area += t.Time * float64(t.Nodes)
+		if t.Time > longest {
+			longest = t.Time
+		}
+	}
+	areaBound := area / float64(totalNodes)
+	if longest > areaBound {
+		return longest
+	}
+	return areaBound
+}
+
+// ApproxRatio returns the schedule's makespan over the lower bound —
+// an upper bound on its true approximation ratio.
+func ApproxRatio(s *Schedule, tasks []Task) float64 {
+	lb := MakespanLowerBound(tasks, s.TotalNodes)
+	if lb == 0 {
+		return 1
+	}
+	return s.Makespan() / lb
+}

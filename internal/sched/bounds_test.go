@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestMakespanLowerBound(t *testing.T) {
+	tasks := []Task{
+		{Region: "A", Nodes: 2, Time: 10},
+		{Region: "B", Nodes: 2, Time: 10},
+	}
+	// Area bound: 40 node-s / 4 nodes = 10; longest = 10.
+	if lb := MakespanLowerBound(tasks, 4); lb != 10 {
+		t.Fatalf("lb %v want 10", lb)
+	}
+	// Longest task dominates when the strip is wide.
+	if lb := MakespanLowerBound(tasks, 100); lb != 10 {
+		t.Fatalf("lb %v want 10 (longest task)", lb)
+	}
+	if MakespanLowerBound(tasks, 0) != 0 {
+		t.Fatal("zero nodes should bound at 0")
+	}
+}
+
+// Without DB constraints, the classical worst-case guarantees hold against
+// the lower bound: NFDH ≤ 2·OPT (+1 level of slack against LB), FFDH ≤
+// 1.7·OPT. LB ≤ OPT, so ratios to LB can exceed the OPT guarantees
+// slightly; the test allows the standard additive-term headroom.
+func TestHeuristicsNearTheoreticalGuarantees(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := stats.NewRNG(uint64(seed) + 1)
+		n := r.Intn(150) + 20
+		width := r.Intn(48) + 16
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = Task{
+				Region: string(rune('A' + i%20)),
+				Cell:   i,
+				Nodes:  r.Intn(width/4) + 1,
+				Time:   1 + 100*r.Float64(),
+			}
+		}
+		c := Constraints{TotalNodes: width}
+		nf, err := NFDTDC(tasks, c)
+		if err != nil {
+			return false
+		}
+		ff, err := FFDTDC(tasks, c)
+		if err != nil {
+			return false
+		}
+		// Ratios against the LOWER bound: allow 2.5 and 2.2 (the
+		// guarantees are against OPT ≥ LB, plus the tallest-level
+		// additive term).
+		return ApproxRatio(nf, tasks) <= 2.5 && ApproxRatio(ff, tasks) <= 2.2
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FFDT's ratio never exceeds NFDT's on identical unconstrained input.
+func TestFFDTNeverWorseUnconstrained(t *testing.T) {
+	err := quick.Check(func(seed uint16) bool {
+		r := stats.NewRNG(uint64(seed) + 1000)
+		n := r.Intn(80) + 10
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = Task{Region: "X", Cell: i, Nodes: r.Intn(8) + 1, Time: 1 + 50*r.Float64()}
+		}
+		c := Constraints{TotalNodes: 32}
+		nf, err := NFDTDC(tasks, c)
+		if err != nil {
+			return false
+		}
+		ff, err := FFDTDC(tasks, c)
+		if err != nil {
+			return false
+		}
+		return ff.Makespan() <= nf.Makespan()+1e-9
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The production nightly workload packs within ≈25% of the lower bound
+// under FFDT-DC — far better than its worst case.
+func TestNightlyNearLowerBound(t *testing.T) {
+	w := Workload{Cells: 12, Replicates: 15, Time: DefaultTimeModel(), MaxInterventionFactor: 4}
+	tasks := w.Tasks(stats.NewRNG(9))
+	c := Constraints{TotalNodes: 720, DBBound: DefaultDBBounds(16)}
+	ff, err := FFDTDC(tasks, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := ApproxRatio(ff, tasks); ratio > 1.6 {
+		t.Fatalf("FFDT-DC strip ratio %v on the nightly workload", ratio)
+	}
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// clique builds the adjacency of a complete graph on n nodes.
+func clique(n int) [][]int {
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
+func TestRelaxedColoringClassicalCase(t *testing.T) {
+	// r=1 on a triangle: with the conservative greedy rule (≤ r−1 ... at
+	// most r shared) each node may have at most 1 same-colored neighbor.
+	adj := clique(3)
+	colors, err := RelaxedColoring(adj, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRelaxedColoring(adj, colors, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelaxedColoringReducesColors(t *testing.T) {
+	adj := clique(12)
+	c1, err := RelaxedColoring(adj, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := RelaxedColoring(adj, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumColors(c4) >= NumColors(c1) {
+		t.Fatalf("relaxation did not reduce colors: r=1→%d, r=4→%d", NumColors(c1), NumColors(c4))
+	}
+}
+
+func TestRelaxedColoringValidation(t *testing.T) {
+	if _, err := RelaxedColoring(clique(3), 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	bad := [][]int{{5}}
+	if _, err := RelaxedColoring(bad, 1); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+	loop := [][]int{{0}}
+	if _, err := RelaxedColoring(loop, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestRelaxedColoringRandomGraphs(t *testing.T) {
+	err := quick.Check(func(seed uint16, rRaw uint8) bool {
+		r := int(rRaw%4) + 1
+		rng := stats.NewRNG(uint64(seed))
+		n := rng.Intn(20) + 2
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Bool(0.3) {
+					adj[i] = append(adj[i], j)
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+		colors, err := RelaxedColoring(adj, r)
+		if err != nil {
+			return false
+		}
+		return ValidateRelaxedColoring(adj, colors, r) == nil
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueColoring(t *testing.T) {
+	// A clique of 10 with r=2: groups of 3 → 4 colors, each member has ≤2
+	// same-colored neighbors.
+	colors, err := CliqueColoring(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NumColors(colors) != 4 {
+		t.Fatalf("%d colors want 4", NumColors(colors))
+	}
+	if err := ValidateRelaxedColoring(clique(10), colors, 2); err != nil {
+		t.Fatal(err)
+	}
+	// r=1 degenerates to pairs.
+	c1, _ := CliqueColoring(10, 1)
+	if NumColors(c1) != 5 {
+		t.Fatalf("r=1: %d colors want 5", NumColors(c1))
+	}
+	if _, err := CliqueColoring(5, 0); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+}
+
+func TestCliqueColoringMatchesGreedyQuality(t *testing.T) {
+	// On cliques, the exact construction should never use more colors
+	// than greedy.
+	for _, n := range []int{5, 8, 15} {
+		for _, r := range []int{1, 2, 3} {
+			exact, err := CliqueColoring(n, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			greedy, err := RelaxedColoring(clique(n), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if NumColors(exact) > NumColors(greedy) {
+				t.Fatalf("n=%d r=%d: exact %d > greedy %d", n, r, NumColors(exact), NumColors(greedy))
+			}
+		}
+	}
+}
+
+func TestValidateRelaxedColoringCatches(t *testing.T) {
+	adj := clique(4)
+	all0 := []int{0, 0, 0, 0}
+	if err := ValidateRelaxedColoring(adj, all0, 2); err == nil {
+		t.Fatal("violation not caught (each node has 3 same-colored neighbors)")
+	}
+	if err := ValidateRelaxedColoring(adj, all0, 3); err != nil {
+		t.Fatal("r=3 should accept the monochromatic 4-clique")
+	}
+}

@@ -1,0 +1,299 @@
+// Package sched implements the workflow-mapping machinery of Section V:
+// the ⟨cell, region⟩ task model, the DB-access-constrained workflow mapping
+// problem (DB-WMP), the r-relaxed coloring formulation of the database
+// constraint, and the two level-oriented packing heuristics the paper
+// evaluates — Next-Fit Decreasing Time with database constraints (NFDT-DC)
+// and First-Fit Decreasing Time with database constraints (FFDT-DC).
+//
+// The geometry follows the paper's 2-D strip-packing view: processors on
+// the X axis, time on the Y axis; tasks are placed left to right in rows
+// forming levels, each level's height set by its slowest task, and the next
+// level starting when the previous one completes. The database constraint
+// bounds how many tasks of one region may run simultaneously — i.e. share a
+// level.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Task is one atomic ⟨cell, region⟩ job: all replicates of one cell of one
+// region's statistical design, run as a unit.
+type Task struct {
+	Region    string
+	Cell      int
+	Replicate int
+	// Nodes is the number of compute nodes the task occupies (the paper
+	// categorizes regions as small=2, medium=4, large=6 nodes).
+	Nodes int
+	// Time is the empirical mean running time t(T[c,r]), in seconds.
+	Time float64
+}
+
+// Constraints describes the target machine and database bounds.
+type Constraints struct {
+	// TotalNodes is the width of the strip (allocated compute nodes).
+	TotalNodes int
+	// DBBound[r] is B(T[r]): the maximum number of region-r tasks that
+	// may run simultaneously. Regions absent from the map are unbounded.
+	DBBound map[string]int
+}
+
+// Level is one row of the strip: its tasks run concurrently, and the level
+// completes when its slowest task does.
+type Level struct {
+	Tasks     []Task
+	UsedNodes int
+	Height    float64
+	perRegion map[string]int
+}
+
+// fits reports whether t can join the level under the constraints.
+func (l *Level) fits(t Task, c Constraints) bool {
+	if l.UsedNodes+t.Nodes > c.TotalNodes {
+		return false
+	}
+	if bound, ok := c.DBBound[t.Region]; ok && l.perRegion[t.Region] >= bound {
+		return false
+	}
+	return true
+}
+
+func (l *Level) add(t Task) {
+	l.Tasks = append(l.Tasks, t)
+	l.UsedNodes += t.Nodes
+	if t.Time > l.Height {
+		l.Height = t.Time
+	}
+	if l.perRegion == nil {
+		l.perRegion = map[string]int{}
+	}
+	l.perRegion[t.Region]++
+}
+
+// Schedule is a packed strip.
+type Schedule struct {
+	Levels     []Level
+	TotalNodes int
+}
+
+// Makespan returns the completion time of the last level.
+func (s *Schedule) Makespan() float64 {
+	total := 0.0
+	for _, l := range s.Levels {
+		total += l.Height
+	}
+	return total
+}
+
+// Work returns the total node-seconds of useful computation.
+func (s *Schedule) Work() float64 {
+	w := 0.0
+	for _, l := range s.Levels {
+		for _, t := range l.Tasks {
+			w += t.Time * float64(t.Nodes)
+		}
+	}
+	return w
+}
+
+// Utilization returns the paper's empirical efficiency EC: total busy
+// node-time divided by (total nodes × makespan).
+func (s *Schedule) Utilization() float64 {
+	m := s.Makespan()
+	if m == 0 || s.TotalNodes == 0 {
+		return 0
+	}
+	return s.Work() / (m * float64(s.TotalNodes))
+}
+
+// NumTasks returns the number of packed tasks.
+func (s *Schedule) NumTasks() int {
+	n := 0
+	for _, l := range s.Levels {
+		n += len(l.Tasks)
+	}
+	return n
+}
+
+// StartTimes returns, for each task (in level order), its level start time;
+// the cluster executor uses these to replay the packing.
+func (s *Schedule) StartTimes() []ScheduledTask {
+	var out []ScheduledTask
+	start := 0.0
+	for li, l := range s.Levels {
+		for _, t := range l.Tasks {
+			out = append(out, ScheduledTask{Task: t, Level: li, Start: start, End: start + t.Time})
+		}
+		start += l.Height
+	}
+	return out
+}
+
+// ScheduledTask is a task with its placement.
+type ScheduledTask struct {
+	Task  Task
+	Level int
+	Start float64
+	End   float64
+}
+
+// Validate checks a schedule against the constraints: level widths, the
+// per-level DB bound, and that every input task appears exactly once.
+func (s *Schedule) Validate(tasks []Task, c Constraints) error {
+	count := map[Task]int{}
+	for _, t := range tasks {
+		count[t]++
+	}
+	for li, l := range s.Levels {
+		width := 0
+		perRegion := map[string]int{}
+		for _, t := range l.Tasks {
+			width += t.Nodes
+			perRegion[t.Region]++
+			count[t]--
+			if count[t] < 0 {
+				return fmt.Errorf("sched: level %d contains unknown or duplicated task %+v", li, t)
+			}
+			if t.Time > l.Height {
+				return fmt.Errorf("sched: level %d height %g below task time %g", li, l.Height, t.Time)
+			}
+		}
+		if width > c.TotalNodes {
+			return fmt.Errorf("sched: level %d width %d exceeds %d nodes", li, width, c.TotalNodes)
+		}
+		for r, n := range perRegion {
+			if bound, ok := c.DBBound[r]; ok && n > bound {
+				return fmt.Errorf("sched: level %d has %d tasks of region %s (bound %d)", li, n, r, bound)
+			}
+		}
+	}
+	for t, n := range count {
+		if n != 0 {
+			return fmt.Errorf("sched: task %+v scheduled %d times", t, 1-n)
+		}
+	}
+	return nil
+}
+
+// sortDecreasing returns the tasks in non-increasing time order (ties by
+// region then cell then replicate, for determinism). The time of a task is
+// directly correlated with the size of its region's network, so this orders
+// big states first — Step 2 of the paper's heuristic.
+func sortDecreasing(tasks []Task) []Task {
+	out := append([]Task(nil), tasks...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		if out[i].Region != out[j].Region {
+			return out[i].Region < out[j].Region
+		}
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		return out[i].Replicate < out[j].Replicate
+	})
+	return out
+}
+
+// checkTasks rejects tasks that can never be placed.
+func checkTasks(tasks []Task, c Constraints) error {
+	if c.TotalNodes <= 0 {
+		return fmt.Errorf("sched: non-positive node count %d", c.TotalNodes)
+	}
+	for _, t := range tasks {
+		if t.Nodes <= 0 || t.Nodes > c.TotalNodes {
+			return fmt.Errorf("sched: task %+v needs %d of %d nodes", t, t.Nodes, c.TotalNodes)
+		}
+		if t.Time < 0 {
+			return fmt.Errorf("sched: negative task time %+v", t)
+		}
+		if bound, ok := c.DBBound[t.Region]; ok && bound <= 0 {
+			return fmt.Errorf("sched: region %s has non-positive DB bound %d", t.Region, bound)
+		}
+	}
+	return nil
+}
+
+// NFDTDC packs with Next-Fit Decreasing Time under database constraints:
+// the next task (in non-increasing time) goes on the current level if it
+// fits and the database constraint is satisfied; otherwise the current
+// level is closed and a new one created. Without the DB constraint this is
+// the classical NFDH with worst-case ratio 2.
+func NFDTDC(tasks []Task, c Constraints) (*Schedule, error) {
+	if err := checkTasks(tasks, c); err != nil {
+		return nil, err
+	}
+	s := &Schedule{TotalNodes: c.TotalNodes}
+	if len(tasks) == 0 {
+		return s, nil
+	}
+	ordered := sortDecreasing(tasks)
+	cur := &Level{}
+	for _, t := range ordered {
+		if !cur.fits(t, c) && len(cur.Tasks) > 0 {
+			s.Levels = append(s.Levels, *cur)
+			cur = &Level{}
+		}
+		cur.add(t)
+	}
+	if len(cur.Tasks) > 0 {
+		s.Levels = append(s.Levels, *cur)
+	}
+	return s, nil
+}
+
+// FFDTDC packs with First-Fit Decreasing Time under database constraints:
+// each task (in non-increasing time) is placed on the first existing level
+// where it fits and the database constraint holds; a new level opens only
+// when no level can accommodate it. Without the DB constraint this is FFDH
+// with worst-case ratio 17/10.
+func FFDTDC(tasks []Task, c Constraints) (*Schedule, error) {
+	if err := checkTasks(tasks, c); err != nil {
+		return nil, err
+	}
+	s := &Schedule{TotalNodes: c.TotalNodes}
+	ordered := sortDecreasing(tasks)
+	for _, t := range ordered {
+		placed := false
+		for li := range s.Levels {
+			if s.Levels[li].fits(t, c) {
+				s.Levels[li].add(t)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			var l Level
+			l.add(t)
+			s.Levels = append(s.Levels, l)
+		}
+	}
+	return s, nil
+}
+
+// FIFO packs tasks in their given order with next-fit levels and no
+// decreasing-time sort — the naive baseline for the scheduler ablation.
+func FIFO(tasks []Task, c Constraints) (*Schedule, error) {
+	if err := checkTasks(tasks, c); err != nil {
+		return nil, err
+	}
+	s := &Schedule{TotalNodes: c.TotalNodes}
+	if len(tasks) == 0 {
+		return s, nil
+	}
+	cur := &Level{}
+	for _, t := range tasks {
+		if !cur.fits(t, c) && len(cur.Tasks) > 0 {
+			s.Levels = append(s.Levels, *cur)
+			cur = &Level{}
+		}
+		cur.add(t)
+	}
+	if len(cur.Tasks) > 0 {
+		s.Levels = append(s.Levels, *cur)
+	}
+	return s, nil
+}

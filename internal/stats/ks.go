@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov statistic of the
+// sample against the reference CDF.
+func KSStatistic(sample []float64, cdf func(float64) float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	max := 0.0
+	for i, x := range s {
+		f := cdf(x)
+		// Compare against the empirical CDF just before and at x.
+		dPlus := (float64(i)+1)/n - f
+		dMinus := f - float64(i)/n
+		if dPlus > max {
+			max = dPlus
+		}
+		if dMinus > max {
+			max = dMinus
+		}
+	}
+	return max
+}
+
+// KSCritical returns the approximate critical value of the KS statistic at
+// the given significance level (standard asymptotic formula; alpha in
+// {0.10, 0.05, 0.01} uses the tabulated coefficients).
+func KSCritical(n int, alpha float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	c := 1.358 // alpha = 0.05
+	switch {
+	case alpha >= 0.10:
+		c = 1.224
+	case alpha >= 0.05:
+		c = 1.358
+	default:
+		c = 1.628
+	}
+	return c / math.Sqrt(float64(n))
+}
+
+// KSTestNormal reports whether the sample is consistent with
+// Normal(mean, sd) at the given significance level.
+func KSTestNormal(sample []float64, mean, sd, alpha float64) bool {
+	stat := KSStatistic(sample, func(x float64) float64 {
+		return NormCDF((x - mean) / sd)
+	})
+	return stat <= KSCritical(len(sample), alpha)
+}
+
+// ExpCDF returns the CDF of an exponential with the given rate.
+func ExpCDF(rate float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-rate*x)
+	}
+}
+
+// UniformCDF returns the CDF of Uniform(lo, hi).
+func UniformCDF(lo, hi float64) func(float64) float64 {
+	return func(x float64) float64 {
+		switch {
+		case x <= lo:
+			return 0
+		case x >= hi:
+			return 1
+		default:
+			return (x - lo) / (hi - lo)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package surveillance
+
+import (
+	"testing"
+
+	"repro/internal/synthpop"
+)
+
+func TestOnsetDay(t *testing.T) {
+	va, _ := synthpop.StateByCode("VA")
+	truth, err := GenerateState(va, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onset := truth.OnsetDay(20)
+	if onset <= 0 || onset > 100 {
+		t.Fatalf("onset day %d implausible", onset)
+	}
+	cum := truth.StateCumulative()
+	if cum[onset] <= 20 {
+		t.Fatalf("cumulative at onset %v should exceed threshold", cum[onset])
+	}
+	if onset > 0 && cum[onset-1] > 20 {
+		t.Fatal("onset not the first crossing")
+	}
+	// A threshold nothing reaches returns 0.
+	if truth.OnsetDay(1e12) != 0 {
+		t.Fatal("unreachable threshold should give 0")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	va, _ := synthpop.StateByCode("VA")
+	truth, _ := GenerateState(va, DefaultConfig(8))
+	w := truth.Window(50, 120)
+	if w.Days != 70 {
+		t.Fatalf("window days %d want 70", w.Days)
+	}
+	for c := range w.Counties {
+		for d := 0; d < 70; d++ {
+			if w.Counties[c].Daily[d] != truth.Counties[c].Daily[50+d] {
+				t.Fatalf("window values shifted wrong at county %d day %d", c, d)
+			}
+		}
+	}
+	// Clamping.
+	if truth.Window(-5, 10).Days != 10 {
+		t.Fatal("negative from not clamped")
+	}
+	if truth.Window(0, 10_000).Days != truth.Days {
+		t.Fatal("oversized to not clamped")
+	}
+	if truth.Window(100, 50).Days != 0 {
+		t.Fatal("inverted window should be empty")
+	}
+	// Window does not alias the original.
+	w.Counties[0].Daily[0] = 999999
+	if truth.Counties[0].Daily[50] == 999999 {
+		t.Fatal("window aliases original data")
+	}
+}

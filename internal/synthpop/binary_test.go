@@ -1,0 +1,142 @@
+package synthpop
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBinaryNetworkRoundTrip(t *testing.T) {
+	va, _ := StateByCode("VA")
+	net, err := Generate(va, smallConfig(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNetworkBinary(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetworkBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Region != net.Region {
+		t.Fatal("region lost")
+	}
+	if len(back.Persons) != len(net.Persons) {
+		t.Fatalf("person count %d want %d", len(back.Persons), len(net.Persons))
+	}
+	for i := range net.Persons {
+		if back.Persons[i] != net.Persons[i] {
+			t.Fatalf("person %d changed: %+v vs %+v", i, back.Persons[i], net.Persons[i])
+		}
+	}
+	if back.NumEdges() != net.NumEdges() {
+		t.Fatalf("edges %d want %d", back.NumEdges(), net.NumEdges())
+	}
+	for i := range net.Adj {
+		if len(back.Adj[i]) != len(net.Adj[i]) {
+			t.Fatalf("degree of %d changed", i)
+		}
+		for j := range net.Adj[i] {
+			if back.Adj[i][j] != net.Adj[i][j] {
+				t.Fatalf("edge %d/%d changed: %+v vs %+v", i, j, back.Adj[i][j], net.Adj[i][j])
+			}
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySmallerThanCSV(t *testing.T) {
+	va, _ := StateByCode("VA")
+	net, _ := Generate(va, smallConfig(73))
+	var bin, csv bytes.Buffer
+	if err := WriteNetworkBinary(&bin, net); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNetworkCSV(&csv, net); err != nil {
+		t.Fatal(err)
+	}
+	// The binary holds both half-edges; CSV holds each edge once. Even
+	// so the binary should not be more than ~1.2× the CSV, and per
+	// half-edge it is much denser.
+	perHalfBin := float64(bin.Len()) / float64(2*net.NumEdges())
+	perEdgeCSV := float64(csv.Len()) / float64(net.NumEdges())
+	if perHalfBin*2 > perEdgeCSV*1.5 {
+		t.Fatalf("binary not compact: %.1fB/half-edge vs %.1fB/CSV edge", perHalfBin, perEdgeCSV)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	va, _ := StateByCode("VA")
+	net, _ := Generate(va, smallConfig(75))
+	var buf bytes.Buffer
+	if err := WriteNetworkBinary(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := ReadNetworkBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncation.
+	if _, err := ReadNetworkBinary(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Bad version.
+	bad2 := append([]byte(nil), data...)
+	bad2[4] = 99
+	if _, err := ReadNetworkBinary(bytes.NewReader(bad2)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestPartitionCacheRoundTrip(t *testing.T) {
+	va, _ := StateByCode("VA")
+	net, _ := Generate(va, smallConfig(77))
+	parts := net.PartitionNodes(6, 0.05)
+	var buf bytes.Buffer
+	if err := WritePartitions(&buf, parts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPartitions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(parts) {
+		t.Fatalf("%d partitions want %d", len(back), len(parts))
+	}
+	for i := range parts {
+		if back[i] != parts[i] {
+			t.Fatalf("partition %d changed", i)
+		}
+	}
+	if err := ValidatePartitionsFor(back, net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatePartitionsDetectsStaleCache(t *testing.T) {
+	va, _ := StateByCode("VA")
+	netA, _ := Generate(va, smallConfig(79))
+	parts := netA.PartitionNodes(4, 0.05)
+	// A different network: the cache is stale.
+	cfgB := smallConfig(80)
+	cfgB.OtherContacts = 9
+	netB, _ := Generate(va, cfgB)
+	if err := ValidatePartitionsFor(parts, netB); err == nil {
+		t.Fatal("stale partition cache accepted")
+	}
+	if err := ValidatePartitionsFor(nil, netA); err == nil {
+		t.Fatal("empty partitioning accepted")
+	}
+}
+
+func TestReadPartitionsRejectsGarbage(t *testing.T) {
+	if _, err := ReadPartitions(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage partition file accepted")
+	}
+}

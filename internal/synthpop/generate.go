@@ -1,0 +1,292 @@
+package synthpop
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Config controls population and network synthesis.
+type Config struct {
+	// Scale is the down-scaling factor: one synthetic person represents
+	// Scale real residents. The paper runs at Scale=1 (300M persons);
+	// the default here is 1000, giving ≈330k persons nationally.
+	Scale int
+	// Seed drives all randomness. Networks are deterministic in
+	// (Seed, state), independent of generation order.
+	Seed uint64
+	// MinPersons floors tiny states so every region has a usable network.
+	MinPersons int
+
+	// Contact structure knobs (defaults tuned to reproduce the paper's
+	// ≈26 mean degree and Figure 6 node/edge proportions).
+	EmploymentRate   float64 // fraction of 18–64 adults employed
+	CollegeRate      float64 // fraction of 18–22 attending college
+	ReligionRate     float64 // fraction attending weekly services
+	WorkContacts     int     // per-worker contacts within workplace
+	SchoolContacts   int     // per-student contacts within school class
+	CollegeContacts  int     // per-student contacts within college group
+	ReligionContacts int     // per-attendee contacts within congregation
+	ShoppingContacts int     // random shopping contacts initiated per person
+	OtherContacts    int     // random "other" contacts initiated per person
+}
+
+// DefaultConfig returns the standard 1:1000 configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Scale:            1000,
+		Seed:             seed,
+		MinPersons:       200,
+		EmploymentRate:   0.62,
+		CollegeRate:      0.45,
+		ReligionRate:     0.35,
+		WorkContacts:     8,
+		SchoolContacts:   12,
+		CollegeContacts:  8,
+		ReligionContacts: 6,
+		ShoppingContacts: 3,
+		OtherContacts:    5,
+	}
+}
+
+// withDefaults fills zero-valued knobs from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Seed)
+	if c.Scale <= 0 {
+		c.Scale = d.Scale
+	}
+	if c.MinPersons <= 0 {
+		c.MinPersons = d.MinPersons
+	}
+	if c.EmploymentRate == 0 {
+		c.EmploymentRate = d.EmploymentRate
+	}
+	if c.CollegeRate == 0 {
+		c.CollegeRate = d.CollegeRate
+	}
+	if c.ReligionRate == 0 {
+		c.ReligionRate = d.ReligionRate
+	}
+	if c.WorkContacts == 0 {
+		c.WorkContacts = d.WorkContacts
+	}
+	if c.SchoolContacts == 0 {
+		c.SchoolContacts = d.SchoolContacts
+	}
+	if c.CollegeContacts == 0 {
+		c.CollegeContacts = d.CollegeContacts
+	}
+	if c.ReligionContacts == 0 {
+		c.ReligionContacts = d.ReligionContacts
+	}
+	if c.ShoppingContacts == 0 {
+		c.ShoppingContacts = d.ShoppingContacts
+	}
+	if c.OtherContacts == 0 {
+		c.OtherContacts = d.OtherContacts
+	}
+	return c
+}
+
+// Generate builds the synthetic population and contact network for one
+// region. The result is deterministic in (cfg.Seed, st.FIPS).
+func Generate(st StateInfo, cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	n := st.Population / cfg.Scale
+	if n < cfg.MinPersons {
+		n = cfg.MinPersons
+	}
+	r := stats.NewRNG(cfg.Seed*1000003 + uint64(st.FIPS))
+
+	net := &Network{Region: st.Code}
+
+	// County weights follow a Zipf-like profile so each state has a few
+	// populous counties and a long rural tail, mirroring real county
+	// population skew.
+	countyWeights := make([]float64, st.Counties)
+	for i := range countyWeights {
+		countyWeights[i] = 1 / math.Pow(float64(i+1), 0.8)
+	}
+
+	// Pseudo-geography: a state anchor derived from FIPS with county
+	// offsets, enough to give every person plausible coordinates.
+	stateLat := 30 + float32(st.FIPS%20)
+	stateLon := -120 + float32(st.FIPS%45)
+
+	// --- Households and persons ---
+	var pid int32
+	for int(pid) < n {
+		size := sampleHouseholdSize(r)
+		if int(pid)+size > n {
+			size = n - int(pid)
+		}
+		county := r.Choice(countyWeights)
+		fips := int32(CountyFIPS(st.FIPS, county))
+		lat := stateLat + float32(county)/100 + float32(r.Norm())*0.05
+		lon := stateLon + float32(county)/80 + float32(r.Norm())*0.05
+		hh := Household{ID: int32(len(net.households)), CountyFIPS: fips, Lat: lat, Lon: lon}
+		ages := sampleHouseholdAges(r, size)
+		for _, age := range ages {
+			g := Female
+			if r.Bool(0.492) {
+				g = Male
+			}
+			net.Persons = append(net.Persons, Person{
+				ID: pid, HouseholdID: hh.ID, Age: age, Gender: g,
+				CountyFIPS: fips, HomeLat: lat, HomeLon: lon,
+			})
+			hh.Members = append(hh.Members, pid)
+			pid++
+		}
+		net.households = append(net.households, hh)
+	}
+	net.Adj = make([][]HalfEdge, len(net.Persons))
+
+	// --- Home contacts: household cliques ---
+	for _, hh := range net.households {
+		for i := 0; i < len(hh.Members); i++ {
+			for j := i + 1; j < len(hh.Members); j++ {
+				net.addEdge(hh.Members[i], hh.Members[j], CtxHome, CtxHome, 18*60, 600, 1)
+			}
+		}
+	}
+
+	// --- Group-based contexts ---
+	countyOf := func(p int32) int {
+		return int(net.Persons[p].CountyFIPS) % 1000
+	}
+	byCounty := make([][]int32, st.Counties+1)
+	for _, p := range net.Persons {
+		c := countyOf(p.ID)
+		if c > st.Counties {
+			c = st.Counties
+		}
+		byCounty[c] = append(byCounty[c], p.ID)
+	}
+
+	// Workers: adults 18–64, employed at the configured rate. Workplaces
+	// draw 80% from the home county and 20% from a random county
+	// (commuting), grouped into workplaces of lognormal size.
+	var workers []int32
+	for _, p := range net.Persons {
+		if p.Age >= 18 && p.Age <= 64 && r.Bool(cfg.EmploymentRate) {
+			workers = append(workers, p.ID)
+		}
+	}
+	r.Shuffle(len(workers), func(i, j int) { workers[i], workers[j] = workers[j], workers[i] })
+	groupContacts(net, r, workers, 12, CtxWork, CtxWork, cfg.WorkContacts, 9*60, 480)
+
+	// School: ages 5–17 in classes of ≈20 within their county.
+	for _, members := range byCounty {
+		var students []int32
+		for _, id := range members {
+			a := net.Persons[id].Age
+			if a >= 5 && a <= 17 {
+				students = append(students, id)
+			}
+		}
+		groupContacts(net, r, students, 20, CtxSchool, CtxSchool, cfg.SchoolContacts, 8*60, 360)
+	}
+
+	// College: ages 18–22 statewide.
+	var collegians []int32
+	for _, p := range net.Persons {
+		if p.Age >= 18 && p.Age <= 22 && r.Bool(cfg.CollegeRate) {
+			collegians = append(collegians, p.ID)
+		}
+	}
+	r.Shuffle(len(collegians), func(i, j int) { collegians[i], collegians[j] = collegians[j], collegians[i] })
+	groupContacts(net, r, collegians, 30, CtxCollege, CtxCollege, cfg.CollegeContacts, 10*60, 240)
+
+	// Religion: congregations of ≈30 within county.
+	for _, members := range byCounty {
+		var attendees []int32
+		for _, id := range members {
+			if r.Bool(cfg.ReligionRate) {
+				attendees = append(attendees, id)
+			}
+		}
+		groupContacts(net, r, attendees, 30, CtxReligion, CtxReligion, cfg.ReligionContacts, 10*60, 120)
+	}
+
+	// Shopping and other: random intra-county contacts. Shopping pairs a
+	// shopper with a (possibly working) counterpart, so contexts differ
+	// across the edge, matching the paper's shopper/grocer example.
+	for _, members := range byCounty {
+		m := len(members)
+		if m < 2 {
+			continue
+		}
+		for _, id := range members {
+			for k := 0; k < cfg.ShoppingContacts; k++ {
+				o := members[r.Intn(m)]
+				if o == id {
+					continue
+				}
+				dst := CtxShopping
+				if r.Bool(0.5) {
+					dst = CtxWork // store staff
+				}
+				net.addEdge(id, o, CtxShopping, dst, uint16(10*60+r.Intn(9*60)), 30, 1)
+			}
+			for k := 0; k < cfg.OtherContacts; k++ {
+				o := members[r.Intn(m)]
+				if o == id {
+					continue
+				}
+				net.addEdge(id, o, CtxOther, CtxOther, uint16(8*60+r.Intn(12*60)), 60, 1)
+			}
+		}
+	}
+	return net, nil
+}
+
+// groupContacts partitions members into sequential groups of approximately
+// groupSize and wires contacts within each group: a clique for tiny groups,
+// otherwise k random partners per member.
+func groupContacts(net *Network, r *stats.RNG, members []int32, groupSize int, cSrc, cDst Context, k int, start, dur uint16) {
+	for lo := 0; lo < len(members); lo += groupSize {
+		hi := lo + groupSize
+		if hi > len(members) {
+			hi = len(members)
+		}
+		group := members[lo:hi]
+		if len(group) < 2 {
+			continue
+		}
+		if len(group) <= 6 {
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					net.addEdge(group[i], group[j], cSrc, cDst, start, dur, 1)
+				}
+			}
+			continue
+		}
+		for i, u := range group {
+			for c := 0; c < k/2+1 && c < len(group)-1; c++ {
+				j := r.Intn(len(group))
+				if j == i {
+					continue
+				}
+				net.addEdge(u, group[j], cSrc, cDst, start, dur, 1)
+			}
+		}
+	}
+}
+
+// GenerateAll builds networks for every region in States, in order. It is a
+// convenience for national workflows; the per-state generation is
+// independent, so callers wanting parallelism can invoke Generate from
+// worker goroutines instead.
+func GenerateAll(cfg Config) (map[string]*Network, error) {
+	out := make(map[string]*Network, len(States))
+	for _, st := range States {
+		n, err := Generate(st, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("synthpop: generating %s: %w", st.Code, err)
+		}
+		out[st.Code] = n
+	}
+	return out, nil
+}

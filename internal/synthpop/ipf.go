@@ -1,0 +1,144 @@
+package synthpop
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements iterative proportional fitting (Deming & Stephan
+// 1940; Beckman, Baggerly & McKay 1996), the method the paper's base
+// population model uses to fit a joint person-attribute table to the
+// marginal distributions published by the Census ("Using iterative
+// proportional fitting (IPF) the base population model constructs a set of
+// individuals P where each person has assigned demographic attributes").
+
+// IPF fits a 2-D contingency table to target row and column marginals,
+// starting from a seed table (e.g. PUMS microdata counts). It returns the
+// fitted table; the seed's zero cells stay zero (structural zeros).
+func IPF(seed [][]float64, rowTargets, colTargets []float64, maxIter int, tol float64) ([][]float64, error) {
+	r := len(seed)
+	if r == 0 {
+		return nil, fmt.Errorf("synthpop: empty IPF seed")
+	}
+	c := len(seed[0])
+	if len(rowTargets) != r || len(colTargets) != c {
+		return nil, fmt.Errorf("synthpop: IPF marginals %d×%d do not match seed %d×%d",
+			len(rowTargets), len(colTargets), r, c)
+	}
+	var rowSum, colSum float64
+	for _, v := range rowTargets {
+		if v < 0 {
+			return nil, fmt.Errorf("synthpop: negative row target %g", v)
+		}
+		rowSum += v
+	}
+	for _, v := range colTargets {
+		if v < 0 {
+			return nil, fmt.Errorf("synthpop: negative column target %g", v)
+		}
+		colSum += v
+	}
+	if math.Abs(rowSum-colSum) > 1e-6*(1+rowSum) {
+		return nil, fmt.Errorf("synthpop: IPF marginals disagree on total (%g vs %g)", rowSum, colSum)
+	}
+	table := make([][]float64, r)
+	for i := range table {
+		if len(seed[i]) != c {
+			return nil, fmt.Errorf("synthpop: ragged IPF seed at row %d", i)
+		}
+		table[i] = append([]float64(nil), seed[i]...)
+		for j, v := range table[i] {
+			if v < 0 {
+				return nil, fmt.Errorf("synthpop: negative seed cell (%d,%d)", i, j)
+			}
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// Row scaling.
+		for i := 0; i < r; i++ {
+			s := 0.0
+			for j := 0; j < c; j++ {
+				s += table[i][j]
+			}
+			if s == 0 {
+				if rowTargets[i] > 0 {
+					return nil, fmt.Errorf("synthpop: row %d has target %g but an all-zero seed", i, rowTargets[i])
+				}
+				continue
+			}
+			f := rowTargets[i] / s
+			for j := 0; j < c; j++ {
+				table[i][j] *= f
+			}
+		}
+		// Column scaling + convergence check.
+		maxErr := 0.0
+		for j := 0; j < c; j++ {
+			s := 0.0
+			for i := 0; i < r; i++ {
+				s += table[i][j]
+			}
+			if s == 0 {
+				if colTargets[j] > 0 {
+					return nil, fmt.Errorf("synthpop: column %d has target %g but an all-zero seed", j, colTargets[j])
+				}
+				continue
+			}
+			f := colTargets[j] / s
+			if e := math.Abs(f - 1); e > maxErr {
+				maxErr = e
+			}
+			for i := 0; i < r; i++ {
+				table[i][j] *= f
+			}
+		}
+		if maxErr < tol {
+			return table, nil
+		}
+	}
+	return table, nil
+}
+
+// FitJointAgeHousehold uses IPF to build the joint (age band × household
+// size) distribution from the pyramid and household-size marginals —
+// the joint the generator samples from when both margins must match Census
+// targets simultaneously. The seed encodes the structural constraints
+// (children never live alone).
+func FitJointAgeHousehold() ([][]float64, error) {
+	// Rows: the five age bands; columns: household sizes 1–7.
+	rows := len(agePyramid.probs)
+	cols := len(householdSizeDist.sizes)
+	seed := make([][]float64, rows)
+	for i := range seed {
+		seed[i] = make([]float64, cols)
+		for j := range seed[i] {
+			seed[i][j] = 1
+		}
+	}
+	// Structural zeros: ages 0–4 and 5–17 never live in size-1
+	// households.
+	seed[0][0] = 0
+	seed[1][0] = 0
+	rowT := make([]float64, rows)
+	colT := make([]float64, cols)
+	for i := range rowT {
+		rowT[i] = agePyramid.probs[i]
+	}
+	// Column marginal: persons per household size ∝ size × P(size).
+	total := 0.0
+	for j, size := range householdSizeDist.sizes {
+		colT[j] = float64(size) * householdSizeDist.probs[j]
+		total += colT[j]
+	}
+	for j := range colT {
+		colT[j] /= total
+	}
+	// Normalize rows to the same total (1.0).
+	return IPF(seed, rowT, colT, 200, 1e-10)
+}

@@ -1,0 +1,175 @@
+package synthpop
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func marginals(table [][]float64) (rows, cols []float64) {
+	rows = make([]float64, len(table))
+	cols = make([]float64, len(table[0]))
+	for i := range table {
+		for j, v := range table[i] {
+			rows[i] += v
+			cols[j] += v
+		}
+	}
+	return rows, cols
+}
+
+func TestIPFFitsMarginals(t *testing.T) {
+	seed := [][]float64{
+		{1, 2, 1},
+		{3, 1, 2},
+	}
+	rowT := []float64{40, 60}
+	colT := []float64{30, 50, 20}
+	fit, err := IPF(seed, rowT, colT, 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := marginals(fit)
+	for i := range rowT {
+		if math.Abs(rows[i]-rowT[i]) > 1e-6 {
+			t.Fatalf("row %d: %v want %v", i, rows[i], rowT[i])
+		}
+	}
+	for j := range colT {
+		if math.Abs(cols[j]-colT[j]) > 1e-6 {
+			t.Fatalf("col %d: %v want %v", j, cols[j], colT[j])
+		}
+	}
+}
+
+func TestIPFPreservesStructuralZeros(t *testing.T) {
+	seed := [][]float64{
+		{0, 2},
+		{3, 1},
+	}
+	fit, err := IPF(seed, []float64{10, 20}, []float64{12, 18}, 200, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit[0][0] != 0 {
+		t.Fatalf("structural zero violated: %v", fit[0][0])
+	}
+	rows, _ := marginals(fit)
+	if math.Abs(rows[0]-10) > 1e-6 {
+		t.Fatalf("row target missed with structural zero: %v", rows[0])
+	}
+}
+
+func TestIPFPreservesOddsRatios(t *testing.T) {
+	// IPF preserves the seed's interaction structure: for a 2×2 table
+	// the odds ratio is invariant.
+	seed := [][]float64{{4, 1}, {2, 3}}
+	or := (seed[0][0] * seed[1][1]) / (seed[0][1] * seed[1][0])
+	fit, err := IPF(seed, []float64{50, 50}, []float64{60, 40}, 300, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := (fit[0][0] * fit[1][1]) / (fit[0][1] * fit[1][0])
+	if math.Abs(got-or) > 1e-6*or {
+		t.Fatalf("odds ratio %v want %v", got, or)
+	}
+}
+
+func TestIPFValidation(t *testing.T) {
+	if _, err := IPF(nil, nil, nil, 10, 0); err == nil {
+		t.Error("empty seed accepted")
+	}
+	seed := [][]float64{{1, 1}}
+	if _, err := IPF(seed, []float64{1, 2}, []float64{1, 1}, 10, 0); err == nil {
+		t.Error("mismatched rows accepted")
+	}
+	if _, err := IPF(seed, []float64{10}, []float64{3, 3}, 10, 0); err == nil {
+		t.Error("disagreeing totals accepted")
+	}
+	if _, err := IPF([][]float64{{-1, 1}}, []float64{1}, []float64{0.5, 0.5}, 10, 0); err == nil {
+		t.Error("negative seed accepted")
+	}
+	if _, err := IPF([][]float64{{0, 0}, {1, 1}}, []float64{5, 5}, []float64{5, 5}, 10, 0); err == nil {
+		t.Error("infeasible structural zeros accepted")
+	}
+}
+
+func TestIPFQuickRandomTables(t *testing.T) {
+	err := quick.Check(func(seed16 uint16) bool {
+		r := stats.NewRNG(uint64(seed16) + 1)
+		rows := r.Intn(4) + 2
+		cols := r.Intn(4) + 2
+		seed := make([][]float64, rows)
+		for i := range seed {
+			seed[i] = make([]float64, cols)
+			for j := range seed[i] {
+				seed[i][j] = 0.1 + r.Float64()
+			}
+		}
+		rowT := make([]float64, rows)
+		total := 0.0
+		for i := range rowT {
+			rowT[i] = 1 + 10*r.Float64()
+			total += rowT[i]
+		}
+		colT := make([]float64, cols)
+		rem := total
+		for j := 0; j < cols-1; j++ {
+			colT[j] = rem * r.Float64() / 2
+			rem -= colT[j]
+		}
+		colT[cols-1] = rem
+		fit, err := IPF(seed, rowT, colT, 500, 1e-10)
+		if err != nil {
+			return false
+		}
+		gotR, gotC := marginals(fit)
+		for i := range rowT {
+			if math.Abs(gotR[i]-rowT[i]) > 1e-4*(1+rowT[i]) {
+				return false
+			}
+		}
+		for j := range colT {
+			if math.Abs(gotC[j]-colT[j]) > 1e-4*(1+colT[j]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitJointAgeHousehold(t *testing.T) {
+	joint, err := FitJointAgeHousehold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural zeros hold: no children alone.
+	if joint[0][0] != 0 || joint[1][0] != 0 {
+		t.Fatal("children assigned to single-person households")
+	}
+	// Marginals match the pyramid.
+	rows, _ := marginals(joint)
+	for i := range rows {
+		if math.Abs(rows[i]-agePyramid.probs[i]) > 1e-6 {
+			t.Fatalf("age band %d marginal %v want %v", i, rows[i], agePyramid.probs[i])
+		}
+	}
+	// Total is 1.
+	total := 0.0
+	for i := range joint {
+		for _, v := range joint[i] {
+			if v < 0 {
+				t.Fatal("negative cell")
+			}
+			total += v
+		}
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("joint sums to %v", total)
+	}
+}

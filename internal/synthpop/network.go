@@ -1,0 +1,224 @@
+package synthpop
+
+import (
+	"fmt"
+)
+
+// Context is the setting in which a contact happens. The paper annotates
+// each edge endpoint with its own context (a shopper meets a grocer who is
+// working).
+type Context uint8
+
+// Contact contexts from the paper's network schema.
+const (
+	CtxHome Context = iota
+	CtxWork
+	CtxShopping
+	CtxOther
+	CtxSchool
+	CtxCollege
+	CtxReligion
+	NumContexts
+)
+
+var contextNames = [NumContexts]string{
+	"home", "work", "shopping", "other", "school", "college", "religion",
+}
+
+// String returns the context's display name.
+func (c Context) String() string {
+	if int(c) < len(contextNames) {
+		return contextNames[c]
+	}
+	return fmt.Sprintf("Context(%d)", uint8(c))
+}
+
+// ParseContext maps a context name to its value.
+func ParseContext(s string) (Context, error) {
+	for i, n := range contextNames {
+		if n == s {
+			return Context(i), nil
+		}
+	}
+	return 0, fmt.Errorf("synthpop: unknown context %q", s)
+}
+
+// HalfEdge is one direction of an undirected contact edge, stored in the
+// adjacency list of its source node. Each undirected edge appears exactly
+// twice in a Network, once per endpoint, with the contexts swapped.
+type HalfEdge struct {
+	Neighbor    int32   // the other endpoint's person ID
+	SrcContext  Context // context of the owning node
+	DstContext  Context // context of the neighbor
+	StartMin    uint16  // start time, minutes into the day
+	DurationMin uint16  // duration in minutes
+	Weight      float32 // contact weight w_e
+}
+
+// Network is the contact network of one region: person records plus
+// context-labelled adjacency.
+type Network struct {
+	Region  string // postal code
+	Persons []Person
+	// Adj[i] lists the contacts of person i (IDs are dense 0..n-1 within
+	// a region's network).
+	Adj [][]HalfEdge
+	// CountyOfPerson caches the county FIPS per person for aggregation.
+	households []Household
+}
+
+// NumNodes returns the number of persons.
+func (n *Network) NumNodes() int { return len(n.Persons) }
+
+// NumEdges returns the number of undirected edges (half-edge count / 2).
+func (n *Network) NumEdges() int {
+	total := 0
+	for _, a := range n.Adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Households returns the household records.
+func (n *Network) Households() []Household { return n.households }
+
+// Degree returns the contact degree of person i.
+func (n *Network) Degree(i int) int { return len(n.Adj[i]) }
+
+// MeanDegree returns the average degree.
+func (n *Network) MeanDegree() float64 {
+	if len(n.Adj) == 0 {
+		return 0
+	}
+	return float64(2*n.NumEdges()) / float64(len(n.Adj))
+}
+
+// addEdge inserts both half-edges of an undirected contact.
+func (n *Network) addEdge(u, v int32, cu, cv Context, start, dur uint16, w float32) {
+	n.Adj[u] = append(n.Adj[u], HalfEdge{Neighbor: v, SrcContext: cu, DstContext: cv, StartMin: start, DurationMin: dur, Weight: w})
+	n.Adj[v] = append(n.Adj[v], HalfEdge{Neighbor: u, SrcContext: cv, DstContext: cu, StartMin: start, DurationMin: dur, Weight: w})
+}
+
+// Validate checks network invariants: symmetric adjacency, no self-loops,
+// neighbor IDs in range, household membership consistent.
+func (n *Network) Validate() error {
+	nn := len(n.Persons)
+	if len(n.Adj) != nn {
+		return fmt.Errorf("synthpop: %d persons but %d adjacency rows", nn, len(n.Adj))
+	}
+	type key struct {
+		a, b int32
+		ca   Context
+	}
+	// Count half-edges per (src, dst) and verify the mirror exists.
+	seen := make(map[key]int, 64)
+	for i, adj := range n.Adj {
+		for _, e := range adj {
+			if e.Neighbor == int32(i) {
+				return fmt.Errorf("synthpop: self-loop at %d", i)
+			}
+			if e.Neighbor < 0 || int(e.Neighbor) >= nn {
+				return fmt.Errorf("synthpop: neighbor %d out of range at node %d", e.Neighbor, i)
+			}
+			seen[key{int32(i), e.Neighbor, e.SrcContext}]++
+		}
+	}
+	for k, c := range seen {
+		mirror := seen[key{k.b, k.a, 0}] + seen[key{k.b, k.a, 1}] + seen[key{k.b, k.a, 2}] +
+			seen[key{k.b, k.a, 3}] + seen[key{k.b, k.a, 4}] + seen[key{k.b, k.a, 5}] + seen[key{k.b, k.a, 6}]
+		forward := 0
+		for c := Context(0); c < NumContexts; c++ {
+			forward += seen[key{k.a, k.b, c}]
+		}
+		if mirror != forward {
+			return fmt.Errorf("synthpop: asymmetric adjacency between %d and %d (%d vs %d)", k.a, k.b, forward, mirror)
+		}
+		_ = c
+	}
+	return nil
+}
+
+// Partition is a contiguous block of nodes assigned to one processing unit.
+type Partition struct {
+	FirstNode, LastNode int32 // inclusive range of node IDs
+	HalfEdges           int   // number of half-edges owned by the block
+}
+
+// PartitionNodes splits the network's nodes into at most p contiguous
+// partitions using the paper's algorithm: walk the nodes in order,
+// allocating to the current partition until its incoming (half-)edge count
+// exceeds E/P + ε·(E/P), where ε is the tolerance factor; all incoming
+// edges of a node always land in the node's partition. The final partition
+// absorbs any remainder, so fewer than p partitions may be returned for
+// very skewed degree sequences.
+func (n *Network) PartitionNodes(p int, epsilon float64) []Partition {
+	if p <= 0 {
+		p = 1
+	}
+	totalHalf := 0
+	for _, a := range n.Adj {
+		totalHalf += len(a)
+	}
+	target := float64(totalHalf)/float64(p) + epsilon*float64(totalHalf)/float64(p)
+	var parts []Partition
+	start := 0
+	count := 0
+	for i := range n.Adj {
+		count += len(n.Adj[i])
+		lastPartition := len(parts) == p-1
+		if float64(count) > target && !lastPartition && i > start {
+			parts = append(parts, Partition{FirstNode: int32(start), LastNode: int32(i - 1), HalfEdges: count - len(n.Adj[i])})
+			start = i
+			count = len(n.Adj[i])
+		}
+	}
+	if start < len(n.Adj) || len(parts) == 0 {
+		last := len(n.Adj) - 1
+		if last < start {
+			last = start
+		}
+		parts = append(parts, Partition{FirstNode: int32(start), LastNode: int32(last), HalfEdges: count})
+	}
+	return parts
+}
+
+// PartitionImbalance returns max/mean half-edge load across partitions, a
+// quality measure for the partitioner (1.0 is perfect balance).
+func PartitionImbalance(parts []Partition) float64 {
+	if len(parts) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, p := range parts {
+		total += p.HalfEdges
+		if p.HalfEdges > max {
+			max = p.HalfEdges
+		}
+	}
+	mean := float64(total) / float64(len(parts))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}
+
+// ContextDegreeShare returns the fraction of half-edges per context, a
+// sanity metric used by tests and by intervention sizing.
+func (n *Network) ContextDegreeShare() [NumContexts]float64 {
+	var counts [NumContexts]int
+	total := 0
+	for _, adj := range n.Adj {
+		for _, e := range adj {
+			counts[e.SrcContext]++
+			total++
+		}
+	}
+	var out [NumContexts]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}

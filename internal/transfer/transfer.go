@@ -1,0 +1,159 @@
+// Package transfer models the data movement between the home cluster and
+// the remote super-computing cluster (the production workflow uses Globus):
+// a bandwidth/latency link plus the byte accounting that Tables I and II
+// report — 2 TB of one-time network staging, 100 MB–8.7 GB of daily
+// configurations outbound, and 120 MB–70 GB of summaries inbound, while the
+// 20 GB–3.5 TB of raw output stays on the remote filesystem.
+package transfer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Byte-size constants.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// Link is a point-to-point transfer channel.
+type Link struct {
+	Name string
+	// BandwidthBytesPerSec is the sustained throughput.
+	BandwidthBytesPerSec float64
+	// LatencySec is the per-transfer startup overhead (checksums,
+	// handshakes — Globus transfers are batched, so this is per batch).
+	LatencySec float64
+}
+
+// DefaultLink models the Internet2 path between the two sites at a
+// sustained 2 Gb/s with 30 s of per-batch overhead.
+func DefaultLink() Link {
+	return Link{Name: "home↔remote (Globus)", BandwidthBytesPerSec: 250e6, LatencySec: 30}
+}
+
+// Duration returns the modeled wall time to move n bytes.
+func (l Link) Duration(n int64) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("transfer: negative size %d", n)
+	}
+	if l.BandwidthBytesPerSec <= 0 {
+		return 0, fmt.Errorf("transfer: non-positive bandwidth")
+	}
+	return l.LatencySec + float64(n)/l.BandwidthBytesPerSec, nil
+}
+
+// Direction of a transfer relative to the home cluster.
+type Direction int
+
+// Transfer directions.
+const (
+	HomeToRemote Direction = iota
+	RemoteToHome
+)
+
+func (d Direction) String() string {
+	if d == HomeToRemote {
+		return "home→remote"
+	}
+	return "remote→home"
+}
+
+// Record is one completed transfer.
+type Record struct {
+	Day       int
+	Direction Direction
+	Label     string
+	Bytes     int64
+	Seconds   float64
+}
+
+// Ledger accumulates transfer records and answers the Table I / Table II
+// accounting questions.
+type Ledger struct {
+	Link    Link
+	Records []Record
+}
+
+// NewLedger builds a ledger over a link.
+func NewLedger(link Link) *Ledger { return &Ledger{Link: link} }
+
+// Move records a transfer and returns its modeled duration.
+func (l *Ledger) Move(day int, dir Direction, label string, bytes int64) (float64, error) {
+	d, err := l.Link.Duration(bytes)
+	if err != nil {
+		return 0, err
+	}
+	l.Records = append(l.Records, Record{Day: day, Direction: dir, Label: label, Bytes: bytes, Seconds: d})
+	return d, nil
+}
+
+// TotalBytes sums transferred bytes, optionally filtered by direction.
+func (l *Ledger) TotalBytes(dir Direction) int64 {
+	var total int64
+	for _, r := range l.Records {
+		if r.Direction == dir {
+			total += r.Bytes
+		}
+	}
+	return total
+}
+
+// DayBytes sums one day's bytes in one direction.
+func (l *Ledger) DayBytes(day int, dir Direction) int64 {
+	var total int64
+	for _, r := range l.Records {
+		if r.Day == day && r.Direction == dir {
+			total += r.Bytes
+		}
+	}
+	return total
+}
+
+// TotalSeconds sums modeled transfer time.
+func (l *Ledger) TotalSeconds() float64 {
+	total := 0.0
+	for _, r := range l.Records {
+		total += r.Seconds
+	}
+	return total
+}
+
+// ByLabel returns total bytes per label, sorted by label for stable output.
+func (l *Ledger) ByLabel() []LabelBytes {
+	m := map[string]int64{}
+	for _, r := range l.Records {
+		m[r.Label] += r.Bytes
+	}
+	out := make([]LabelBytes, 0, len(m))
+	for k, v := range m {
+		out = append(out, LabelBytes{Label: k, Bytes: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// LabelBytes pairs a label with a byte total.
+type LabelBytes struct {
+	Label string
+	Bytes int64
+}
+
+// HumanBytes formats a byte count the way the paper's tables do.
+func HumanBytes(n int64) string {
+	switch {
+	case n >= TB:
+		return fmt.Sprintf("%.1fTB", float64(n)/float64(TB))
+	case n >= GB:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
