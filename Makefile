@@ -1,0 +1,23 @@
+# Repeatable gates for the repo. `make tier1` is the seed gate (build +
+# tests); `make race` runs the full suite under the race detector — the
+# fault-injection layer and the popdb/workflow concurrency paths must stay
+# race-clean. `make check` runs both.
+
+GO ?= go
+
+.PHONY: tier1 race fuzz check
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short exploratory fuzz pass over the scheduler targets (the seed corpus
+# always runs as part of tier1).
+fuzz:
+	$(GO) test ./internal/sched -fuzz FuzzRelaxedColoring -fuzztime 10s
+	$(GO) test ./internal/sched -fuzz FuzzScheduleRoundTrip -fuzztime 10s
+
+check: tier1 race

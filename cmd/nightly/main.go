@@ -8,6 +8,7 @@
 //
 //	nightly -workflow prediction
 //	nightly -workflow all -nights 3
+//	nightly -workflow prediction -fault-rate 0.05 -max-retries 3
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/transfer"
 )
 
@@ -26,7 +28,25 @@ func main() {
 	heuristic := flag.String("heuristic", "FFDT-DC", "FFDT-DC | NFDT-DC")
 	carryover := flag.Bool("carryover", false, "resubmit window-misses on later nights (resiliency mode)")
 	seed := flag.Uint64("seed", 7, "random seed")
+	faultRate := flag.Float64("fault-rate", 0,
+		"per-attempt task crash probability; DB refusals and transfer stalls run at half this rate (0 = failure-free)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault model")
+	maxRetries := flag.Int("max-retries", 3, "per-task requeue budget under faults (negative = shed on first failure)")
 	flag.Parse()
+
+	if *faultRate < 0 || *faultRate > 1 {
+		log.Fatalf("-fault-rate %v outside [0, 1]", *faultRate)
+	}
+	if *carryover && *faultRate > 0 {
+		log.Fatal("-fault-rate is not supported with -carryover (carryover nights run the failure-free model)")
+	}
+	faultSpec := faults.Spec{
+		Seed:              *faultSeed,
+		TaskCrashProb:     *faultRate,
+		DBRefusalProb:     *faultRate / 2,
+		TransferStallProb: *faultRate / 2,
+	}
+	recovery := core.RecoveryPolicy{MaxRetries: *maxRetries}
 
 	p := core.NewPipeline(*seed)
 	specs := core.TableI()
@@ -62,6 +82,7 @@ func main() {
 				rep, err := p.RunNight(core.NightConfig{
 					Spec: spec, Heuristic: *heuristic,
 					Seed: *seed + uint64(n), Day: day,
+					Faults: faultSpec, Recovery: recovery,
 				})
 				if err != nil {
 					log.Fatal(err)
@@ -73,7 +94,7 @@ func main() {
 		for n, rep := range reports {
 			status := "within the 10h window"
 			if !rep.FitsWindow {
-				status = fmt.Sprintf("MISSED window (%d unstarted)", rep.Unstarted)
+				status = fmt.Sprintf("MISSED window (%d unstarted, %d shed)", rep.Unstarted, len(rep.Shed))
 			}
 			fmt.Printf("  night %d: %d tasks, makespan %.1fh, utilization %.1f%%, %s\n",
 				n+1, rep.Tasks, rep.Makespan/3600, 100*rep.Utilization, status)
@@ -81,6 +102,26 @@ func main() {
 				transfer.HumanBytes(rep.ConfigBytes),
 				transfer.HumanBytes(rep.SummaryBytes),
 				transfer.HumanBytes(rep.RawBytes))
+			if *faultRate > 0 {
+				fmt.Printf("           faults: %d crashes, %d DB refusals; %d requeues over %d rounds, %.0f node-s wasted, %d transfer retries\n",
+					rep.Crashes, rep.DBRefusals, rep.Retries, rep.Rounds,
+					rep.WastedNodeSeconds, rep.TransferRetries)
+				if len(rep.Shed) > 0 {
+					fmt.Printf("           shed %d tasks (%d retry-exhausted, %d window); lowest priority first:\n",
+						len(rep.Shed), rep.ShedRetryExhausted, rep.ShedWindow)
+					show := rep.Shed
+					if len(show) > 5 {
+						show = show[:5]
+					}
+					for _, ts := range show {
+						fmt.Printf("             - %s cell %d replicate %d (%.0fs on %d nodes)\n",
+							ts.Region, ts.Cell, ts.Replicate, ts.Time, ts.Nodes)
+					}
+					if len(rep.Shed) > len(show) {
+						fmt.Printf("             … and %d more\n", len(rep.Shed)-len(show))
+					}
+				}
+			}
 		}
 		fmt.Println()
 	}

@@ -78,17 +78,82 @@ type TaskRecord struct {
 	Start, End float64
 }
 
+// FaultKind classifies an injected execution failure.
+type FaultKind int
+
+// Execution fault classes.
+const (
+	FaultNone FaultKind = iota
+	// FaultCrash kills a running task partway through its interval.
+	FaultCrash
+	// FaultDBRefused fails a task instantly at start: its region database
+	// refused the connection.
+	FaultDBRefused
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultDBRefused:
+		return "db-refused"
+	default:
+		return "none"
+	}
+}
+
+// Fault is an injector's verdict for one task start.
+type Fault struct {
+	Kind FaultKind
+	// Frac is the fraction of the task's runtime completed before a
+	// FaultCrash; ignored for other kinds.
+	Frac float64
+}
+
+// Injector decides the fate of a task at the moment the executor starts it.
+// It is consulted at most once per task per execution; callers that requeue
+// failed tasks re-execute with a fresh injector bound to the new attempt
+// number. A nil Injector is failure-free.
+type Injector func(t sched.Task) Fault
+
+// FaultRecord is one injected failure observed during execution: the task
+// held its nodes (and DB connection) on [Start, At); refusals are
+// zero-length.
+type FaultRecord struct {
+	Task      sched.Task
+	Kind      FaultKind
+	Start, At float64
+}
+
 // ExecResult summarizes an executed workload.
 type ExecResult struct {
 	Records []TaskRecord
+	// Failed lists injected failures, in the order they were decided.
+	Failed []FaultRecord
 	// Makespan is the completion time of the last task.
 	Makespan float64
 	// Utilization is the paper's EC metric: busy node-time over
-	// (allocated nodes × makespan).
+	// (allocated nodes × makespan). Under faults only completed work
+	// counts as busy; crashed node-time is in WastedNodeSeconds.
 	Utilization float64
 	// Unstarted lists tasks that could not begin within the deadline
 	// (zero deadline = unlimited).
 	Unstarted []sched.Task
+	// BusyNodeSeconds is the node-time of completed tasks.
+	BusyNodeSeconds float64
+	// WastedNodeSeconds is the node-time consumed by crashed attempts.
+	WastedNodeSeconds float64
+}
+
+// ExecOptions extends the executors for fault-injected, resumable runs.
+type ExecOptions struct {
+	// Deadline is the absolute cut-off (zero = unlimited).
+	Deadline float64
+	// StartAt is the clock value at which execution begins — recovery
+	// rounds resume mid-window.
+	StartAt float64
+	// Injector, when non-nil, is consulted as each task starts.
+	Injector Injector
 }
 
 // MeanWait returns the average task start time — the queueing delay a
@@ -121,27 +186,56 @@ func (r *ExecResult) MaxWait() float64 {
 // all tasks of level i run concurrently starting when level i−1 completes.
 // Tasks whose level would end past the deadline are not started.
 func ExecuteLevelSync(s *sched.Schedule, deadline float64) ExecResult {
+	return ExecuteLevelSyncOpts(s, ExecOptions{Deadline: deadline})
+}
+
+// ExecuteLevelSyncOpts is ExecuteLevelSync with fault injection and a
+// resumable start clock. A crashed task frees nothing early — the barrier
+// waits for the level's packed height regardless — but its node-time counts
+// as wasted rather than busy, and the failure is recorded for requeueing.
+func ExecuteLevelSyncOpts(s *sched.Schedule, opt ExecOptions) ExecResult {
 	var res ExecResult
-	start := 0.0
+	start := opt.StartAt
 	busy := 0.0
 	for _, l := range s.Levels {
-		if deadline > 0 && start+l.Height > deadline {
+		if opt.Deadline > 0 && start+l.Height > opt.Deadline {
 			for _, t := range l.Tasks {
 				res.Unstarted = append(res.Unstarted, t)
 			}
 			continue
 		}
 		for _, t := range l.Tasks {
+			if opt.Injector != nil {
+				switch f := opt.Injector(t); f.Kind {
+				case FaultDBRefused:
+					res.Failed = append(res.Failed, FaultRecord{Task: t, Kind: f.Kind, Start: start, At: start})
+					continue
+				case FaultCrash:
+					at := start + clampFrac(f.Frac)*t.Time
+					res.Failed = append(res.Failed, FaultRecord{Task: t, Kind: f.Kind, Start: start, At: at})
+					res.WastedNodeSeconds += (at - start) * float64(t.Nodes)
+					continue
+				}
+			}
 			res.Records = append(res.Records, TaskRecord{Task: t, Start: start, End: start + t.Time})
 			busy += t.Time * float64(t.Nodes)
 		}
 		start += l.Height
 	}
 	res.Makespan = start
+	res.BusyNodeSeconds = busy
 	if s.TotalNodes > 0 && res.Makespan > 0 {
 		res.Utilization = busy / (res.Makespan * float64(s.TotalNodes))
 	}
 	return res
+}
+
+// clampFrac bounds a crash fraction to (0, 1].
+func clampFrac(f float64) float64 {
+	if f <= 0 || f > 1 {
+		return 1
+	}
+	return f
 }
 
 // ExecuteBackfill runs an ordered task list on the cluster with
@@ -150,6 +244,14 @@ func ExecuteLevelSync(s *sched.Schedule, deadline float64) ExecResult {
 // deadline) is started. Order is the packing's flattened (level, position)
 // sequence — for FFDT-DC, non-increasing time.
 func ExecuteBackfill(tasks []sched.Task, c sched.Constraints, deadline float64) (ExecResult, error) {
+	return ExecuteBackfillOpts(tasks, c, ExecOptions{Deadline: deadline})
+}
+
+// ExecuteBackfillOpts is ExecuteBackfill with fault injection and a
+// resumable start clock. A refused task fails instantly and holds nothing;
+// a crashed task holds its nodes and DB connection until the crash instant,
+// then frees them for backfilling — its partial node-time counts as wasted.
+func ExecuteBackfillOpts(tasks []sched.Task, c sched.Constraints, opt ExecOptions) (ExecResult, error) {
 	if c.TotalNodes <= 0 {
 		return ExecResult{}, fmt.Errorf("cluster: non-positive node count")
 	}
@@ -172,7 +274,7 @@ func ExecuteBackfill(tasks []sched.Task, c sched.Constraints, deadline float64) 
 	free := c.TotalNodes
 	regionRunning := map[string]int{}
 	var active []running
-	now := 0.0
+	now := opt.StartAt
 	busy := 0.0
 
 	for remaining > 0 || len(active) > 0 {
@@ -189,11 +291,29 @@ func ExecuteBackfill(tasks []sched.Task, c sched.Constraints, deadline float64) 
 			if bound, ok := c.DBBound[t.Region]; ok && regionRunning[t.Region] >= bound {
 				continue
 			}
-			if deadline > 0 && now+t.Time > deadline {
+			if opt.Deadline > 0 && now+t.Time > opt.Deadline {
 				pending[i] = false
 				remaining--
 				res.Unstarted = append(res.Unstarted, t)
 				continue
+			}
+			if opt.Injector != nil {
+				if f := opt.Injector(t); f.Kind != FaultNone {
+					pending[i] = false
+					remaining--
+					if f.Kind == FaultDBRefused {
+						res.Failed = append(res.Failed, FaultRecord{Task: t, Kind: f.Kind, Start: now, At: now})
+						continue
+					}
+					end := now + clampFrac(f.Frac)*t.Time
+					res.Failed = append(res.Failed, FaultRecord{Task: t, Kind: f.Kind, Start: now, At: end})
+					res.WastedNodeSeconds += (end - now) * float64(t.Nodes)
+					free -= t.Nodes
+					regionRunning[t.Region]++
+					active = append(active, running{end: end, task: t})
+					startedAny = true
+					continue
+				}
 			}
 			pending[i] = false
 			remaining--
@@ -231,6 +351,7 @@ func ExecuteBackfill(tasks []sched.Task, c sched.Constraints, deadline float64) 
 			res.Makespan = now
 		}
 	}
+	res.BusyNodeSeconds = busy
 	if res.Makespan > 0 {
 		res.Utilization = busy / (res.Makespan * float64(c.TotalNodes))
 	}
@@ -249,7 +370,9 @@ func FlattenSchedule(s *sched.Schedule) []sched.Task {
 
 // ValidateExecution checks an ExecResult against the constraints: at no
 // instant do running tasks exceed the node count or any region's DB bound,
-// and no task interval overlaps the deadline.
+// and no task interval overlaps the deadline. Crashed attempts held their
+// nodes and DB connection until the crash instant and are validated as
+// occupancy; zero-length refusals are not.
 func ValidateExecution(res ExecResult, c sched.Constraints, deadline float64) error {
 	type event struct {
 		t     float64
@@ -264,6 +387,16 @@ func ValidateExecution(res ExecResult, c sched.Constraints, deadline float64) er
 		}
 		events = append(events, event{t: r.Start, nodes: r.Task.Nodes, reg: r.Task.Region, d: 1})
 		events = append(events, event{t: r.End, nodes: -r.Task.Nodes, reg: r.Task.Region, d: -1})
+	}
+	for _, f := range res.Failed {
+		if f.At <= f.Start {
+			continue // refusals hold nothing
+		}
+		if deadline > 0 && f.At > deadline+1e-9 {
+			return fmt.Errorf("cluster: failed task %+v held nodes until %g past deadline %g", f.Task, f.At, deadline)
+		}
+		events = append(events, event{t: f.Start, nodes: f.Task.Nodes, reg: f.Task.Region, d: 1})
+		events = append(events, event{t: f.At, nodes: -f.Task.Nodes, reg: f.Task.Region, d: -1})
 	}
 	sort.Slice(events, func(a, b int) bool {
 		if events[a].t != events[b].t {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/transfer"
@@ -80,6 +81,13 @@ type NightConfig struct {
 	// Seed adds night-to-night task-time noise.
 	Seed uint64
 	Day  int
+	// Faults injects the operational failures of the production nights
+	// (task/node crashes, DB connection refusals, transfer stalls). The
+	// zero value is failure-free and reproduces the baseline bit for bit.
+	Faults faults.Spec
+	// Recovery tunes requeue/backoff/shed behaviour under faults; zero
+	// fields take DefaultRecoveryPolicy.
+	Recovery RecoveryPolicy
 }
 
 // NightReport summarizes one simulated night (the Figure 9 data points).
@@ -88,20 +96,53 @@ type NightReport struct {
 	Tasks       int
 	Makespan    float64
 	Utilization float64
-	// FitsWindow reports whether everything completed inside 10 hours.
+	// FitsWindow reports whether everything completed inside 10 hours
+	// with nothing shed.
 	FitsWindow bool
 	Unstarted  int
 	// ConfigBytes / SummaryBytes / RawBytes are the night's data volumes
 	// at 1:1 scale (Table I / Table II accounting).
 	ConfigBytes, SummaryBytes, RawBytes int64
+
+	// Failure/retry/shed accounting (the fault-injection extension). On a
+	// failure-free night Completed = Tasks − Unstarted, Rounds = 1 and
+	// everything else below is zero.
+	Completed  int
+	Crashes    int
+	DBRefusals int
+	// Retries counts requeue events; Rounds counts scheduling passes.
+	Retries int
+	Rounds  int
+	// Shed lists exactly the work dropped when the window could not
+	// absorb the retries, lowest priority first. ShedRetryExhausted and
+	// ShedWindow split the count by cause.
+	Shed               []sched.Task
+	ShedRetryExhausted int
+	ShedWindow         int
+	// WastedNodeSeconds is node-time consumed by crashed attempts.
+	WastedNodeSeconds float64
+	// TransferRetries counts stalled-and-retried transfer attempts.
+	TransferRetries int
 }
 
 // RunNight simulates one night of the given workflow on the remote
 // cluster: build the ⟨cell, region⟩ tasks with the empirical time model,
 // pack with the chosen heuristic, execute (level-synchronous for NFDT-DC,
 // backfilled for FFDT-DC — how the respective production configurations
-// ran), and account the data movement.
+// ran) under the configured fault model with retry/requeue/shed recovery,
+// and account the data movement.
 func (p *Pipeline) RunNight(cfg NightConfig) (*NightReport, error) {
+	report, _, err := p.ExecuteNight(cfg)
+	return report, err
+}
+
+// ExecuteNight is RunNight exposing the merged execution trace across all
+// recovery rounds, so callers can replay or validate it (e.g. with
+// cluster.ValidateExecution against the night's constraints).
+func (p *Pipeline) ExecuteNight(cfg NightConfig) (*NightReport, cluster.ExecResult, error) {
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, cluster.ExecResult{}, err
+	}
 	// Counter-factual and prediction designs sweep intervention
 	// complexity (up to the ≈4× D2CT factor of Figure 7); calibration
 	// cells sweep disease parameters on a fixed mitigation schedule, so
@@ -124,45 +165,51 @@ func (p *Pipeline) RunNight(cfg NightConfig) (*NightReport, error) {
 	deadline := p.Window.Seconds()
 	report := &NightReport{Config: cfg, Tasks: len(tasks)}
 
-	var exec cluster.ExecResult
-	switch cfg.Heuristic {
-	case "", "FFDT-DC":
-		s, err := sched.FFDTDC(tasks, constraints)
-		if err != nil {
-			return nil, err
-		}
-		exec, err = cluster.ExecuteBackfill(cluster.FlattenSchedule(s), constraints, deadline)
-		if err != nil {
-			return nil, err
-		}
-	case "NFDT-DC":
-		s, err := sched.NFDTDC(tasks, constraints)
-		if err != nil {
-			return nil, err
-		}
-		exec = cluster.ExecuteLevelSync(s, deadline)
-	default:
-		return nil, fmt.Errorf("core: unknown heuristic %q", cfg.Heuristic)
+	fm := faults.New(cfg.Faults)
+	exec, err := p.runNightRounds(cfg, fm, tasks, constraints, deadline, report)
+	if err != nil {
+		return nil, cluster.ExecResult{}, err
 	}
 	report.Makespan = exec.Makespan
 	report.Utilization = exec.Utilization
 	report.Unstarted = len(exec.Unstarted)
-	report.FitsWindow = len(exec.Unstarted) == 0 && exec.Makespan <= deadline
+	report.Completed = len(exec.Records)
+	report.WastedNodeSeconds = exec.WastedNodeSeconds
+	report.FitsWindow = len(exec.Unstarted) == 0 && len(report.Shed) == 0 && exec.Makespan <= deadline
 
 	// Data accounting: configs out, summaries back; raw output stays on
-	// the remote filesystem (Table II).
-	// Each executed task is one simulation (tasks are per-replicate).
+	// the remote filesystem (Table II). Each executed task is one
+	// simulation (tasks are per-replicate); shed work produces nothing.
 	completed := int64(len(exec.Records))
 	report.ConfigBytes = int64(len(tasks)) * 580 * transfer.KB
 	report.SummaryBytes = completed * cfg.Spec.SummaryBytesPerSim
 	report.RawBytes = completed * cfg.Spec.RawBytesPerSim
-	if _, err := p.Ledger.Move(cfg.Day, transfer.HomeToRemote, "night-configs", report.ConfigBytes); err != nil {
-		return nil, err
+	if err := p.moveWithRecovery(cfg, fm, report, transfer.HomeToRemote, "night-configs", report.ConfigBytes); err != nil {
+		return nil, cluster.ExecResult{}, err
 	}
-	if _, err := p.Ledger.Move(cfg.Day, transfer.RemoteToHome, "night-summaries", report.SummaryBytes); err != nil {
-		return nil, err
+	if err := p.moveWithRecovery(cfg, fm, report, transfer.RemoteToHome, "night-summaries", report.SummaryBytes); err != nil {
+		return nil, cluster.ExecResult{}, err
 	}
-	return report, nil
+	return report, exec, nil
+}
+
+// moveWithRecovery ships bytes over the ledger; under a fault model the
+// transfer retries stalled attempts with jittered backoff and the retry
+// count lands in the report. A transfer that stalls through the whole
+// retry budget fails the night — the morning's products cannot ship.
+func (p *Pipeline) moveWithRecovery(cfg NightConfig, fm *faults.Model, report *NightReport,
+	dir transfer.Direction, label string, bytes int64) error {
+	if fm == nil {
+		_, err := p.Ledger.Move(cfg.Day, dir, label, bytes)
+		return err
+	}
+	pol := cfg.Recovery.withDefaults()
+	_, retries, err := p.Ledger.MoveWithRetry(cfg.Day, dir, label, bytes, pol.Transfer,
+		func(attempt int) (bool, float64) {
+			return fm.TransferStall(label, attempt), fm.Jitter(label, 0, 0, attempt)
+		})
+	report.TransferRetries += retries
+	return err
 }
 
 // RunNights executes a workload across consecutive nightly windows with

@@ -1,0 +1,282 @@
+package core
+
+// This file is the recovery layer of the nightly pipeline: the paper's
+// production nights on Bridges hit node failures, database-connection
+// exhaustion and transfer stalls inside the hard 10pm–8am window, and the
+// team monitored and restarted work by hand. Here that loop is automated
+// and deterministic: failed tasks are requeued with exponential backoff and
+// rescheduled via FFDT-DC into the remaining window; transfers retry with
+// jittered backoff through the ledger; and when the window cannot absorb
+// every retry the night degrades gracefully by shedding replicates, lowest
+// priority first, reporting exactly what was dropped.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/sched"
+	"repro/internal/transfer"
+)
+
+// RecoveryPolicy tunes the nightly retry/requeue/shed behaviour. Zero
+// fields take the DefaultRecoveryPolicy values; a negative MaxRetries
+// disables requeueing entirely (every failure sheds).
+type RecoveryPolicy struct {
+	// MaxRetries is the per-task requeue budget.
+	MaxRetries int
+	// BackoffBase is the wait in seconds before a task's first retry.
+	BackoffBase float64
+	// BackoffFactor multiplies the backoff on every further attempt.
+	BackoffFactor float64
+	// BackoffJitterFrac spreads each backoff multiplicatively by
+	// [1, 1+frac) so requeued tasks do not re-collide.
+	BackoffJitterFrac float64
+	// Transfer bounds site-to-site transfer retries.
+	Transfer transfer.RetryPolicy
+}
+
+// DefaultRecoveryPolicy returns the production-shaped defaults: three
+// requeues with 2-minute doubling jittered backoff, five transfer attempts.
+func DefaultRecoveryPolicy() RecoveryPolicy {
+	return RecoveryPolicy{
+		MaxRetries:        3,
+		BackoffBase:       120,
+		BackoffFactor:     2,
+		BackoffJitterFrac: 0.5,
+		Transfer:          transfer.DefaultRetryPolicy(),
+	}
+}
+
+func (p RecoveryPolicy) withDefaults() RecoveryPolicy {
+	d := DefaultRecoveryPolicy()
+	switch {
+	case p.MaxRetries == 0:
+		p.MaxRetries = d.MaxRetries
+	case p.MaxRetries < 0:
+		p.MaxRetries = 0
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = d.BackoffBase
+	}
+	if p.BackoffFactor < 1 {
+		p.BackoffFactor = d.BackoffFactor
+	}
+	if p.BackoffJitterFrac <= 0 {
+		p.BackoffJitterFrac = d.BackoffJitterFrac
+	}
+	return p
+}
+
+// taskID identifies a task across requeues (sched.Task carries the sampled
+// time, which stays fixed for a retried task, but identity is the triple).
+type taskID struct {
+	Region          string
+	Cell, Replicate int
+}
+
+func tid(t sched.Task) taskID { return taskID{t.Region, t.Cell, t.Replicate} }
+
+// moreImportant orders tasks for shedding decisions: replicate 0 of a cell
+// carries the ensemble's signal, so low replicate indices outrank high
+// ones; among equals a longer task outranks a shorter one (more sunk work
+// to redo); region/cell break ties for determinism.
+func moreImportant(a, b sched.Task) bool {
+	if a.Replicate != b.Replicate {
+		return a.Replicate < b.Replicate
+	}
+	if a.Time != b.Time {
+		return a.Time > b.Time
+	}
+	if a.Region != b.Region {
+		return a.Region < b.Region
+	}
+	return a.Cell < b.Cell
+}
+
+// retryItem is a requeued task waiting out its backoff.
+type retryItem struct {
+	task       sched.Task
+	eligibleAt float64
+}
+
+// runNightRounds executes one night under the fault model with the
+// recovery policy: round 1 runs the full workload under the configured
+// heuristic; every later round reschedules the eligible retries via
+// FFDT-DC + backfill into the remaining window. The merged ExecResult
+// spans all rounds; failure/retry/shed accounting lands in the report.
+// With a nil fault model this is exactly one failure-free round — the
+// bit-for-bit baseline.
+func (p *Pipeline) runNightRounds(cfg NightConfig, fm *faults.Model, tasks []sched.Task,
+	constraints sched.Constraints, deadline float64, report *NightReport) (cluster.ExecResult, error) {
+
+	pol := cfg.Recovery.withDefaults()
+	attempts := map[taskID]int{}
+	var inj cluster.Injector
+	if fm != nil {
+		inj = func(t sched.Task) cluster.Fault {
+			f := fm.Task(t.Region, t.Cell, t.Replicate, attempts[tid(t)])
+			switch f.Kind {
+			case faults.Crash:
+				return cluster.Fault{Kind: cluster.FaultCrash, Frac: f.Frac}
+			case faults.DBRefusal:
+				return cluster.Fault{Kind: cluster.FaultDBRefused}
+			}
+			return cluster.Fault{}
+		}
+	}
+
+	shed := func(t sched.Task, counter *int) {
+		*counter++
+		report.Shed = append(report.Shed, t)
+	}
+
+	// Round 1: the full workload under the configured heuristic.
+	var merged cluster.ExecResult
+	switch cfg.Heuristic {
+	case "", "FFDT-DC":
+		s, err := sched.FFDTDC(tasks, constraints)
+		if err != nil {
+			return cluster.ExecResult{}, err
+		}
+		merged, err = cluster.ExecuteBackfillOpts(cluster.FlattenSchedule(s), constraints,
+			cluster.ExecOptions{Deadline: deadline, Injector: inj})
+		if err != nil {
+			return cluster.ExecResult{}, err
+		}
+	case "NFDT-DC":
+		s, err := sched.NFDTDC(tasks, constraints)
+		if err != nil {
+			return cluster.ExecResult{}, err
+		}
+		merged = cluster.ExecuteLevelSyncOpts(s, cluster.ExecOptions{Deadline: deadline, Injector: inj})
+	default:
+		return cluster.ExecResult{}, fmt.Errorf("core: unknown heuristic %q", cfg.Heuristic)
+	}
+	report.Rounds = 1
+
+	// processFailures books each failure and either requeues the task with
+	// jittered exponential backoff or sheds it (retry budget spent, or the
+	// backoff pushes it past the point where it could still finish).
+	var deferred []retryItem
+	processFailures := func(failed []cluster.FaultRecord) {
+		for _, f := range failed {
+			switch f.Kind {
+			case cluster.FaultCrash:
+				report.Crashes++
+			case cluster.FaultDBRefused:
+				report.DBRefusals++
+			}
+			id := tid(f.Task)
+			a := attempts[id] + 1 // attempts consumed so far
+			attempts[id] = a
+			if a > pol.MaxRetries {
+				shed(f.Task, &report.ShedRetryExhausted)
+				continue
+			}
+			backoff := pol.BackoffBase
+			for i := 1; i < a; i++ {
+				backoff *= pol.BackoffFactor
+			}
+			backoff *= 1 + pol.BackoffJitterFrac*fm.Jitter(f.Task.Region, f.Task.Cell, f.Task.Replicate, a)
+			eligible := f.At + backoff
+			if eligible+f.Task.Time > deadline {
+				shed(f.Task, &report.ShedWindow)
+				continue
+			}
+			report.Retries++
+			deferred = append(deferred, retryItem{task: f.Task, eligibleAt: eligible})
+		}
+	}
+	processFailures(merged.Failed)
+	now := merged.Makespan
+
+	for len(deferred) > 0 {
+		// Next scheduling point: the cluster has drained the previous
+		// round, and at least one retry must have served its backoff.
+		minEligible := math.Inf(1)
+		for _, r := range deferred {
+			if r.eligibleAt < minEligible {
+				minEligible = r.eligibleAt
+			}
+		}
+		if minEligible > now {
+			now = minEligible
+		}
+		if now >= deadline {
+			for _, r := range deferred {
+				shed(r.task, &report.ShedWindow)
+			}
+			break
+		}
+		var admitted []sched.Task
+		rest := deferred[:0]
+		for _, r := range deferred {
+			if r.eligibleAt <= now {
+				admitted = append(admitted, r.task)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		deferred = rest
+
+		// Admission control: the remaining window holds at most
+		// (deadline − now) × nodes node-seconds. While the admitted work
+		// exceeds that budget, shed the least important task — this is
+		// the "degrade gracefully, lowest-priority replicates first" rule.
+		sort.SliceStable(admitted, func(i, j int) bool { return moreImportant(admitted[i], admitted[j]) })
+		budget := (deadline - now) * float64(constraints.TotalNodes)
+		total := 0.0
+		for _, t := range admitted {
+			total += t.Time * float64(t.Nodes)
+		}
+		for len(admitted) > 0 && total > budget {
+			last := admitted[len(admitted)-1]
+			total -= last.Time * float64(last.Nodes)
+			shed(last, &report.ShedWindow)
+			admitted = admitted[:len(admitted)-1]
+		}
+		if len(admitted) == 0 {
+			continue
+		}
+
+		// Reschedule via FFDT-DC into the remaining window — the recovery
+		// path always uses the first-fit packing, whatever heuristic ran
+		// round 1.
+		s, err := sched.FFDTDC(admitted, constraints)
+		if err != nil {
+			return cluster.ExecResult{}, err
+		}
+		exec, err := cluster.ExecuteBackfillOpts(cluster.FlattenSchedule(s), constraints,
+			cluster.ExecOptions{Deadline: deadline, StartAt: now, Injector: inj})
+		if err != nil {
+			return cluster.ExecResult{}, err
+		}
+		report.Rounds++
+		merged.Records = append(merged.Records, exec.Records...)
+		merged.Failed = append(merged.Failed, exec.Failed...)
+		merged.BusyNodeSeconds += exec.BusyNodeSeconds
+		merged.WastedNodeSeconds += exec.WastedNodeSeconds
+		if exec.Makespan > merged.Makespan {
+			merged.Makespan = exec.Makespan
+		}
+		// A retry the executor could not start is a retry the window
+		// could not absorb.
+		for _, t := range exec.Unstarted {
+			shed(t, &report.ShedWindow)
+		}
+		processFailures(exec.Failed)
+		if exec.Makespan > now {
+			now = exec.Makespan
+		}
+	}
+
+	// Report shed work lowest-priority first, deterministically.
+	sort.SliceStable(report.Shed, func(i, j int) bool { return moreImportant(report.Shed[j], report.Shed[i]) })
+	if merged.Makespan > 0 && constraints.TotalNodes > 0 {
+		merged.Utilization = merged.BusyNodeSeconds / (merged.Makespan * float64(constraints.TotalNodes))
+	}
+	return merged, nil
+}

@@ -1,0 +1,99 @@
+package popdb
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFaultHookRefuses(t *testing.T) {
+	s, _ := NewServer("VA", testPersons(5), 2)
+	s.SetFault(func(attempt int) bool { return attempt == 0 })
+	if _, err := s.TryConnect(); !errors.Is(err, ErrConnectionRefused) {
+		t.Fatalf("first attempt: %v want ErrConnectionRefused", err)
+	}
+	c, err := s.TryConnect()
+	if err != nil {
+		t.Fatalf("second attempt: %v", err)
+	}
+	c.Close()
+	st := s.Stats()
+	if st.Injected != 1 || st.Attempts != 2 || st.Refused != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Clearing the hook restores fault-free behaviour.
+	s.SetFault(nil)
+	c, err = s.TryConnect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if got := s.Stats().Injected; got != 1 {
+		t.Fatalf("injected count moved to %d after clearing the hook", got)
+	}
+}
+
+func TestConnectWithRetryRecoversTransientFaults(t *testing.T) {
+	s, _ := NewServer("VA", testPersons(5), 2)
+	s.SetFault(func(attempt int) bool { return attempt < 2 })
+	c, err := ConnectWithRetry(s, 3)
+	if err != nil {
+		t.Fatalf("retry through 2 refusals: %v", err)
+	}
+	c.Close()
+	if st := s.Stats(); st.Injected != 2 || st.Attempts != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestConnectWithRetryExhausts(t *testing.T) {
+	s, _ := NewServer("VA", testPersons(5), 2)
+	s.SetFault(func(int) bool { return true })
+	if _, err := ConnectWithRetry(s, 4); !errors.Is(err, ErrConnectionRefused) {
+		t.Fatalf("exhausted retry should wrap ErrConnectionRefused, got %v", err)
+	}
+	if st := s.Stats(); st.Attempts != 4 {
+		t.Fatalf("attempts %d want 4", st.Attempts)
+	}
+}
+
+// Bound refusals are the scheduler's constraint, not a transient fault —
+// retrying without a freed slot cannot help, so they return immediately.
+func TestConnectWithRetryDoesNotRetryBoundRefusals(t *testing.T) {
+	s, _ := NewServer("VA", testPersons(5), 1)
+	c, _ := s.TryConnect()
+	defer c.Close()
+	if _, err := ConnectWithRetry(s, 10); !errors.Is(err, ErrTooManyConnections) {
+		t.Fatalf("got %v want ErrTooManyConnections", err)
+	}
+	if st := s.Stats(); st.Attempts != 2 { // the held conn + one refused try
+		t.Fatalf("bound refusal was retried: %d attempts", st.Attempts)
+	}
+}
+
+// The fault hook is consulted under the server lock; hammering TryConnect
+// from many goroutines must stay race-free (exercised by `make race`).
+func TestFaultHookConcurrent(t *testing.T) {
+	s, _ := NewServer("VA", testPersons(5), 4)
+	s.SetFault(func(attempt int) bool { return attempt%3 == 0 })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if c, err := ConnectWithRetry(s, 5); err == nil {
+					c.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Open != 0 {
+		t.Fatalf("connections leaked: %+v", st)
+	}
+	if st.Injected == 0 || st.Attempts < 400 {
+		t.Fatalf("fault hook starved: %+v", st)
+	}
+}

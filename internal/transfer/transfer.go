@@ -8,6 +8,7 @@ package transfer
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -35,13 +36,19 @@ func DefaultLink() Link {
 	return Link{Name: "home↔remote (Globus)", BandwidthBytesPerSec: 250e6, LatencySec: 30}
 }
 
-// Duration returns the modeled wall time to move n bytes.
+// Duration returns the modeled wall time to move n bytes. Zero, negative or
+// non-finite bandwidth and negative or non-finite latency are rejected so
+// that Inf/NaN durations can never leak into downstream accounting (night
+// reports sum these values).
 func (l Link) Duration(n int64) (float64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("transfer: negative size %d", n)
 	}
-	if l.BandwidthBytesPerSec <= 0 {
-		return 0, fmt.Errorf("transfer: non-positive bandwidth")
+	if !(l.BandwidthBytesPerSec > 0) || math.IsInf(l.BandwidthBytesPerSec, 0) {
+		return 0, fmt.Errorf("transfer: bandwidth %v must be positive and finite", l.BandwidthBytesPerSec)
+	}
+	if !(l.LatencySec >= 0) || math.IsInf(l.LatencySec, 0) {
+		return 0, fmt.Errorf("transfer: latency %v must be non-negative and finite", l.LatencySec)
 	}
 	return l.LatencySec + float64(n)/l.BandwidthBytesPerSec, nil
 }
@@ -69,6 +76,8 @@ type Record struct {
 	Label     string
 	Bytes     int64
 	Seconds   float64
+	// Retries counts stalled attempts before the transfer went through.
+	Retries int
 }
 
 // Ledger accumulates transfer records and answers the Table I / Table II
@@ -89,6 +98,81 @@ func (l *Ledger) Move(day int, dir Direction, label string, bytes int64) (float6
 	}
 	l.Records = append(l.Records, Record{Day: day, Direction: dir, Label: label, Bytes: bytes, Seconds: d})
 	return d, nil
+}
+
+// RetryPolicy bounds transfer retries with exponential backoff. Zero fields
+// take the defaults of DefaultRetryPolicy.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (≥ 1).
+	MaxAttempts int
+	// BaseBackoff is the wait in seconds before the second attempt.
+	BaseBackoff float64
+	// Factor multiplies the backoff after every stalled attempt.
+	Factor float64
+}
+
+// DefaultRetryPolicy mirrors the production Globus retry configuration:
+// five attempts, one minute base backoff, doubling.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseBackoff: 60, Factor: 2}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.Factor < 1 {
+		p.Factor = d.Factor
+	}
+	return p
+}
+
+// Backoff returns the wait after stalled attempt `attempt` (0-based),
+// spread by a jitter fraction u ∈ [0, 1): base·factor^attempt·(1 + u).
+func (p RetryPolicy) Backoff(attempt int, u float64) float64 {
+	p = p.withDefaults()
+	b := p.BaseBackoff
+	for i := 0; i < attempt; i++ {
+		b *= p.Factor
+	}
+	return b * (1 + u)
+}
+
+// MoveWithRetry records a transfer whose attempts may stall. fault(attempt)
+// reports whether 0-based attempt `attempt` stalls and supplies the jitter
+// u ∈ [0, 1) for that attempt's backoff; a nil fault never stalls. Each
+// stalled attempt costs the link's per-batch latency plus the jittered
+// backoff before the next try. On success the ledger gains one record
+// carrying the total elapsed seconds and the retry count; when every
+// attempt stalls the transfer fails, nothing is recorded, and the retry
+// count is returned with the error.
+func (l *Ledger) MoveWithRetry(day int, dir Direction, label string, bytes int64, pol RetryPolicy, fault func(attempt int) (stalled bool, jitter float64)) (float64, int, error) {
+	pol = pol.withDefaults()
+	d, err := l.Link.Duration(bytes)
+	if err != nil {
+		return 0, 0, err
+	}
+	elapsed := 0.0
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		stalled, jitter := false, 0.0
+		if fault != nil {
+			stalled, jitter = fault(attempt)
+		}
+		if !stalled {
+			elapsed += d
+			l.Records = append(l.Records, Record{
+				Day: day, Direction: dir, Label: label, Bytes: bytes,
+				Seconds: elapsed, Retries: attempt,
+			})
+			return elapsed, attempt, nil
+		}
+		elapsed += l.Link.LatencySec + pol.Backoff(attempt, jitter)
+	}
+	return elapsed, pol.MaxAttempts, fmt.Errorf("transfer: %s stalled on all %d attempts", label, pol.MaxAttempts)
 }
 
 // TotalBytes sums transferred bytes, optionally filtered by direction.
