@@ -1,11 +1,12 @@
 # Repeatable gates for the repo. `make tier1` is the seed gate (build +
 # tests); `make race` runs the full suite under the race detector — the
-# fault-injection layer and the popdb/workflow concurrency paths must stay
-# race-clean. `make check` runs both.
+# fault-injection layer, the popdb/workflow concurrency paths and the
+# scenario service's queue/cache must stay race-clean. `make vet` and
+# `make fmt-check` are static gates. `make check` runs all of them.
 
 GO ?= go
 
-.PHONY: tier1 race fuzz check
+.PHONY: tier1 race vet fmt-check fuzz check
 
 tier1:
 	$(GO) build ./...
@@ -14,10 +15,20 @@ tier1:
 race:
 	$(GO) test -race ./...
 
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs `gofmt -w`, listing the offenders.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 # Short exploratory fuzz pass over the scheduler targets (the seed corpus
 # always runs as part of tier1).
 fuzz:
 	$(GO) test ./internal/sched -fuzz FuzzRelaxedColoring -fuzztime 10s
 	$(GO) test ./internal/sched -fuzz FuzzScheduleRoundTrip -fuzztime 10s
 
-check: tier1 race
+check: fmt-check vet tier1 race

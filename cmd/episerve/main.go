@@ -1,0 +1,84 @@
+// Command episerve is the scenario service: an HTTP front end over the
+// three production workflows (prediction, what-if, nightly). Policy-makers
+// submit scenario specs, the service content-addresses each spec, runs it
+// through a bounded job queue over a shared core.Pipeline, and serves
+// results from an LRU cache with single-flight deduplication.
+//
+// Usage:
+//
+//	episerve -addr :8080 -workers 2 -queue 16 -cache 64 -scale 20000 -seed 2020
+//
+// Submit, poll and fetch:
+//
+//	curl -s -X POST localhost:8080/scenarios -d '{"workflow":"prediction","state":"VA","days":60}'
+//	curl -s localhost:8080/scenarios/<id>
+//	curl -s localhost:8080/scenarios/<id>/result
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
+// and in-flight jobs drain (bounded by -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "worker pool size")
+	queueCap := flag.Int("queue", 16, "job queue capacity (full queue returns 429)")
+	cacheCap := flag.Int("cache", 64, "result cache capacity (LRU entries)")
+	scale := flag.Int("scale", 20000, "population scale (1:N)")
+	seed := flag.Uint64("seed", 2020, "pipeline random seed")
+	parallelism := flag.Int("parallelism", 2, "per-simulation processing units")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
+	flag.Parse()
+
+	p := core.NewPipeline(*seed, core.WithScale(*scale), core.WithParallelism(*parallelism))
+	svc := scenario.NewService(scenario.Config{
+		Pipeline: p, Workers: *workers, QueueCap: *queueCap, CacheCap: *cacheCap,
+	})
+	srv := &http.Server{Addr: *addr, Handler: scenario.NewServer(svc)}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("episerve listening on %s (workers=%d queue=%d cache=%d scale=1:%d seed=%d)",
+			*addr, *workers, *queueCap, *cacheCap, *scale, *seed)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %s, draining (budget %s)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Drain(ctx); err != nil {
+		log.Printf("drain interrupted, in-flight jobs canceled: %v", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+}

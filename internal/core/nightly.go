@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -136,10 +137,22 @@ func (p *Pipeline) RunNight(cfg NightConfig) (*NightReport, error) {
 	return report, err
 }
 
+// RunNightCtx is RunNight under a context: cancellation interrupts the
+// recovery rounds between scheduling passes.
+func (p *Pipeline) RunNightCtx(ctx context.Context, cfg NightConfig) (*NightReport, error) {
+	report, _, err := p.ExecuteNightCtx(ctx, cfg)
+	return report, err
+}
+
 // ExecuteNight is RunNight exposing the merged execution trace across all
 // recovery rounds, so callers can replay or validate it (e.g. with
 // cluster.ValidateExecution against the night's constraints).
 func (p *Pipeline) ExecuteNight(cfg NightConfig) (*NightReport, cluster.ExecResult, error) {
+	return p.ExecuteNightCtx(context.Background(), cfg)
+}
+
+// ExecuteNightCtx is ExecuteNight under a context.
+func (p *Pipeline) ExecuteNightCtx(ctx context.Context, cfg NightConfig) (*NightReport, cluster.ExecResult, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, cluster.ExecResult{}, err
 	}
@@ -166,7 +179,7 @@ func (p *Pipeline) ExecuteNight(cfg NightConfig) (*NightReport, cluster.ExecResu
 	report := &NightReport{Config: cfg, Tasks: len(tasks)}
 
 	fm := faults.New(cfg.Faults)
-	exec, err := p.runNightRounds(cfg, fm, tasks, constraints, deadline, report)
+	exec, err := p.runNightRounds(ctx, cfg, fm, tasks, constraints, deadline, report)
 	if err != nil {
 		return nil, cluster.ExecResult{}, err
 	}
@@ -217,6 +230,13 @@ func (p *Pipeline) moveWithRecovery(cfg NightConfig, fm *faults.Model, report *N
 // that do not fit tonight's 10-hour window are resubmitted the next night
 // until the workload drains or maxNights is exhausted.
 func (p *Pipeline) RunNights(spec WorkflowSpec, heuristic string, maxNights int, seed uint64) ([]*NightReport, error) {
+	return p.RunNightsCtx(context.Background(), spec, heuristic, maxNights, seed)
+}
+
+// RunNightsCtx is RunNights under a context: long multi-night campaigns
+// check ctx at each night boundary, so cancellation returns the reports of
+// the nights already simulated together with ctx.Err().
+func (p *Pipeline) RunNightsCtx(ctx context.Context, spec WorkflowSpec, heuristic string, maxNights int, seed uint64) ([]*NightReport, error) {
 	if maxNights <= 0 {
 		maxNights = 1
 	}
@@ -236,6 +256,9 @@ func (p *Pipeline) RunNights(spec WorkflowSpec, heuristic string, maxNights int,
 	deadline := p.Window.Seconds()
 	var reports []*NightReport
 	for night := 0; night < maxNights && len(remaining) > 0; night++ {
+		if err := ctx.Err(); err != nil {
+			return reports, err
+		}
 		var exec cluster.ExecResult
 		switch heuristic {
 		case "", "FFDT-DC":

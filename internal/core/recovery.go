@@ -11,6 +11,7 @@ package core
 // priority first, reporting exactly what was dropped.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -108,10 +109,14 @@ type retryItem struct {
 // FFDT-DC + backfill into the remaining window. The merged ExecResult
 // spans all rounds; failure/retry/shed accounting lands in the report.
 // With a nil fault model this is exactly one failure-free round — the
-// bit-for-bit baseline.
-func (p *Pipeline) runNightRounds(cfg NightConfig, fm *faults.Model, tasks []sched.Task,
+// bit-for-bit baseline. Cancelling ctx interrupts the retry loop between
+// scheduling passes and returns ctx.Err().
+func (p *Pipeline) runNightRounds(ctx context.Context, cfg NightConfig, fm *faults.Model, tasks []sched.Task,
 	constraints sched.Constraints, deadline float64, report *NightReport) (cluster.ExecResult, error) {
 
+	if err := ctx.Err(); err != nil {
+		return cluster.ExecResult{}, err
+	}
 	pol := cfg.Recovery.withDefaults()
 	attempts := map[taskID]int{}
 	var inj cluster.Injector
@@ -194,6 +199,9 @@ func (p *Pipeline) runNightRounds(cfg NightConfig, fm *faults.Model, tasks []sch
 	now := merged.Makespan
 
 	for len(deferred) > 0 {
+		if err := ctx.Err(); err != nil {
+			return cluster.ExecResult{}, err
+		}
 		// Next scheduling point: the cluster has drained the previous
 		// round, and at least one retry must have served its backoff.
 		minEligible := math.Inf(1)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/disease"
@@ -84,6 +85,13 @@ type ScenarioOutcome struct {
 // already holds. Each scenario runs every configuration with the given
 // replicates.
 func (p *Pipeline) RunWhatIfScenarios(cfg PredictionConfig, scenarios []WhatIf) ([]*ScenarioOutcome, error) {
+	return p.RunWhatIfScenariosCtx(context.Background(), cfg, scenarios)
+}
+
+// RunWhatIfScenariosCtx is RunWhatIfScenarios under a context: the
+// replicate loop checks ctx before each simulation, so cancellation costs
+// at most one in-flight simulation.
+func (p *Pipeline) RunWhatIfScenariosCtx(ctx context.Context, cfg PredictionConfig, scenarios []WhatIf) ([]*ScenarioOutcome, error) {
 	if len(cfg.Configs) == 0 {
 		return nil, fmt.Errorf("core: what-if analysis needs calibrated configs")
 	}
@@ -120,6 +128,9 @@ func (p *Pipeline) RunWhatIfScenarios(cfg PredictionConfig, scenarios []WhatIf) 
 				return nil, err
 			}
 			for rep := 0; rep < cfg.Replicates; rep++ {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				job := SimJob{State: cfg.State, Cell: ci, Replicate: rep, Params: scaled, Days: cfg.Days}
 				var seeds []epihiper.Seeding
 				for _, c := range topCounties(net, 1) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -145,8 +146,10 @@ func jobSeed(job SimJob) uint64 {
 
 // runJobs executes jobs with bounded parallelism across jobs and records
 // the Table I transfer accounting (configs out on the given day, summaries
-// back).
-func (p *Pipeline) runJobs(day int, label string, jobs []SimJob, shStart, shEnd int) ([]*SimOutput, error) {
+// back). Cancelling ctx stops dispatching new jobs; in-flight simulations
+// finish (one sim is the cancellation granularity) and ctx.Err() is
+// returned, so abandoned requests stop burning CPU.
+func (p *Pipeline) runJobs(ctx context.Context, day int, label string, jobs []SimJob, shStart, shEnd int) ([]*SimOutput, error) {
 	// Daily configuration push (100MB–8.7GB band at full scale).
 	configBytes := int64(len(jobs)) * 64 * transfer.KB
 	if _, err := p.Ledger.Move(day, transfer.HomeToRemote, label+"-configs", configBytes); err != nil {
@@ -164,15 +167,27 @@ func (p *Pipeline) runJobs(day int, label string, jobs []SimJob, shStart, shEnd 
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				outs[i], errs[i] = p.RunSim(jobs[i], shStart, shEnd)
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var summaryBytes int64
 	for i := range outs {
 		if errs[i] != nil {
@@ -285,6 +300,12 @@ type CalibrationOutcome struct {
 // confirmed-case curves → GP-emulator Bayesian calibration against the
 // ground truth → posterior configurations.
 func (p *Pipeline) RunCalibrationWorkflow(cfg CalibrationConfig) (*CalibrationOutcome, error) {
+	return p.RunCalibrationWorkflowCtx(context.Background(), cfg)
+}
+
+// RunCalibrationWorkflowCtx is RunCalibrationWorkflow under a context:
+// cancelling ctx stops the simulation fan-out and skips the MCMC fit.
+func (p *Pipeline) RunCalibrationWorkflowCtx(ctx context.Context, cfg CalibrationConfig) (*CalibrationOutcome, error) {
 	cfg.fillDefaults()
 	st, err := synthpop.StateByCode(cfg.State)
 	if err != nil {
@@ -318,7 +339,7 @@ func (p *Pipeline) RunCalibrationWorkflow(cfg CalibrationConfig) (*CalibrationOu
 		out.Prior = append(out.Prior, pr)
 		jobs[i] = SimJob{State: cfg.State, Cell: i, Replicate: 0, Params: pr, Days: cfg.Days}
 	}
-	sims, err := p.runJobs(cfg.Day, "calibration", jobs, cfg.SHStart, cfg.SHEnd)
+	sims, err := p.runJobs(ctx, cfg.Day, "calibration", jobs, cfg.SHStart, cfg.SHEnd)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +362,9 @@ func (p *Pipeline) RunCalibrationWorkflow(cfg CalibrationConfig) (*CalibrationOu
 	}
 	out.ObsLog = calib.Log1p(obs)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cal, err := calib.Fit(design, out.ObsLog, calib.Config{NumBasis: 5})
 	if err != nil {
 		return nil, err
@@ -467,6 +491,12 @@ type PredictionOutcome struct {
 // RunPredictionWorkflow executes Figure 5: simulate every calibrated
 // configuration with replicates, aggregate, and quantify uncertainty.
 func (p *Pipeline) RunPredictionWorkflow(cfg PredictionConfig) (*PredictionOutcome, error) {
+	return p.RunPredictionWorkflowCtx(context.Background(), cfg)
+}
+
+// RunPredictionWorkflowCtx is RunPredictionWorkflow under a context:
+// cancelling ctx stops the replicate fan-out and returns ctx.Err().
+func (p *Pipeline) RunPredictionWorkflowCtx(ctx context.Context, cfg PredictionConfig) (*PredictionOutcome, error) {
 	if len(cfg.Configs) == 0 {
 		return nil, fmt.Errorf("core: prediction needs calibrated configs")
 	}
@@ -490,7 +520,7 @@ func (p *Pipeline) RunPredictionWorkflow(cfg PredictionConfig) (*PredictionOutco
 			})
 		}
 	}
-	sims, err := p.runJobs(cfg.Day, "prediction", jobs, cfg.SHStart, cfg.SHEnd)
+	sims, err := p.runJobs(ctx, cfg.Day, "prediction", jobs, cfg.SHStart, cfg.SHEnd)
 	if err != nil {
 		return nil, err
 	}
@@ -601,6 +631,12 @@ func (cfg CounterfactualConfig) FactorialCells() []Cell {
 // RunCounterfactualWorkflow executes Figure 3: the factorial design across
 // the given regions with replicates.
 func (p *Pipeline) RunCounterfactualWorkflow(cfg CounterfactualConfig) (*CounterfactualOutcome, error) {
+	return p.RunCounterfactualWorkflowCtx(context.Background(), cfg)
+}
+
+// RunCounterfactualWorkflowCtx is RunCounterfactualWorkflow under a
+// context, cancellable between cells and between jobs within a cell.
+func (p *Pipeline) RunCounterfactualWorkflowCtx(ctx context.Context, cfg CounterfactualConfig) (*CounterfactualOutcome, error) {
 	if len(cfg.States) == 0 {
 		return nil, fmt.Errorf("core: counterfactual needs states")
 	}
@@ -630,7 +666,7 @@ func (p *Pipeline) RunCounterfactualWorkflow(cfg CounterfactualConfig) (*Counter
 				})
 			}
 		}
-		sims, err := p.runJobs(cfg.Day, fmt.Sprintf("economic-%s", cell.Name()), jobs,
+		sims, err := p.runJobs(ctx, cfg.Day, fmt.Sprintf("economic-%s", cell.Name()), jobs,
 			cfg.SHStart, cfg.SHStart+cell.SHDuration)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &Result{Hash: fmt.Sprintf("k%d", i)})
+	}
+	// Touch k0 so k1 becomes least recently used.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", &Result{Hash: "k3"})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 survived eviction despite being LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats %+v want 1 eviction, 3 entries", st)
+	}
+}
+
+func TestCacheRefreshDoesNotGrow(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", &Result{})
+	c.Put("a", &Result{})
+	c.Put("b", &Result{})
+	if c.Len() != 2 {
+		t.Fatalf("len %d want 2", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("%d evictions want 0", st.Evictions)
+	}
+}
+
+func TestCacheHitRatio(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", &Result{})
+	c.Get("a")
+	c.Get("a")
+	c.RecordMiss()
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses %d/%d want 2/1", st.Hits, st.Misses)
+	}
+	if want := 2.0 / 3.0; st.HitRatio != want {
+		t.Fatalf("ratio %v want %v", st.HitRatio, want)
+	}
+	// A lookup miss alone records nothing (the service books misses only
+	// for actually scheduled runs).
+	c.Get("absent")
+	if got := c.Stats().Misses; got != 1 {
+		t.Fatalf("misses %d want 1", got)
+	}
+}

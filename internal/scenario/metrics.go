@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"sort"
+	"sync"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds; the last
+// implicit bucket is +Inf. The range spans sub-millisecond stub runs up to
+// multi-minute full-scale workflows.
+var latencyBounds = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300, 600,
+}
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	counts []int64 // len(latencyBounds)+1; last bucket is +Inf
+	sum    float64
+	n      int64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{counts: make([]int64, len(latencyBounds)+1)}
+}
+
+// observe books one duration in seconds. Caller holds the metrics lock.
+func (h *Histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBounds, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// HistogramBucket is one cumulative histogram bucket.
+type HistogramBucket struct {
+	// LE is the bucket's inclusive upper bound in seconds; the last bucket
+	// reports +Inf as 0 with Inf set.
+	LE    float64 `json:"le"`
+	Inf   bool    `json:"inf,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time cumulative view.
+type HistogramSnapshot struct {
+	Count      int64             `json:"count"`
+	SumSeconds float64           `json:"sum_seconds"`
+	Buckets    []HistogramBucket `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n, SumSeconds: h.sum}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		b := HistogramBucket{Count: cum}
+		if i < len(latencyBounds) {
+			b.LE = latencyBounds[i]
+		} else {
+			b.Inf = true
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}
+
+// Metrics aggregates the service counters. Gauges that live elsewhere
+// (queue depth, cache stats, jobs by state) are merged into the snapshot by
+// the service.
+type Metrics struct {
+	mu        sync.Mutex
+	submitted int64
+	rejected  int64
+	deduped   int64
+	latency   map[string]*Histogram
+}
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{latency: map[string]*Histogram{}}
+}
+
+func (m *Metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *Metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *Metrics) incDeduped()   { m.mu.Lock(); m.deduped++; m.mu.Unlock() }
+
+// observeLatency books one completed run of the given workflow.
+func (m *Metrics) observeLatency(workflow string, seconds float64) {
+	m.mu.Lock()
+	h, ok := m.latency[workflow]
+	if !ok {
+		h = newHistogram()
+		m.latency[workflow] = h
+	}
+	h.observe(seconds)
+	m.mu.Unlock()
+}
+
+// Snapshot is the /metrics payload.
+type Snapshot struct {
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Workers       int   `json:"workers"`
+	Draining      bool  `json:"draining"`
+	Submitted     int64 `json:"submitted"`
+	// Rejected counts 429 backpressure shed at admission.
+	Rejected int64 `json:"rejected"`
+	// Deduped counts submissions that attached to an identical in-flight
+	// job (single-flight sharing).
+	Deduped int64 `json:"deduped"`
+	// Jobs by state: queued and running are live gauges; done, failed and
+	// canceled are lifetime totals.
+	Jobs  map[string]int64 `json:"jobs"`
+	Cache CacheStats       `json:"cache"`
+	// Latency holds one cumulative histogram per workflow.
+	Latency map[string]HistogramSnapshot `json:"latency"`
+}
+
+// counters returns the scalar counters and per-workflow histograms.
+func (m *Metrics) counters() (submitted, rejected, deduped int64, latency map[string]HistogramSnapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	latency = make(map[string]HistogramSnapshot, len(m.latency))
+	for k, h := range m.latency {
+		latency[k] = h.snapshot()
+	}
+	return m.submitted, m.rejected, m.deduped, latency
+}

@@ -1,0 +1,491 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull is 429 backpressure: the bounded queue cannot admit the
+	// job (mirrors the nightly pipeline's shed semantics — excess load is
+	// dropped explicitly, never buffered unboundedly).
+	ErrQueueFull = errors.New("scenario: queue full")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("scenario: service draining")
+)
+
+// BadSpecError wraps a validation failure (HTTP 400).
+type BadSpecError struct{ Err error }
+
+func (e *BadSpecError) Error() string { return e.Err.Error() }
+func (e *BadSpecError) Unwrap() error { return e.Err }
+
+// JobState is the lifecycle of a job.
+type JobState int32
+
+// Job lifecycle states.
+const (
+	StateQueued JobState = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCanceled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int32(s))
+	}
+}
+
+// Runner executes one normalized spec. The default runner drives the
+// core.Pipeline workflows; tests substitute stubs.
+type Runner func(ctx context.Context, spec Spec) (*Result, error)
+
+// Job is one admitted scenario run. Identical in-flight specs share one Job
+// (single-flight): every submitter holds an interest reference, and when
+// the last interested party walks away the run is cancelled so abandoned
+// requests stop burning CPU.
+type Job struct {
+	// Hash is the spec's content address and the job's public ID.
+	Hash string
+	// Spec is the normalized spec.
+	Spec Spec
+
+	svc    *Service
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	result   *Result
+	interest int
+	pinned   bool
+	shared   int64
+	cached   bool
+	started  time.Time
+}
+
+// completedJob wraps a cache hit as an already-done job.
+func completedJob(hash string, spec Spec, res *Result) *Job {
+	j := &Job{Hash: hash, Spec: spec, done: make(chan struct{}),
+		state: StateDone, result: res, cached: true}
+	close(j.done)
+	return j
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx is done.
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.result, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Pin keeps the job alive independent of interest references — an
+// asynchronously submitted job must survive its submitter's disconnect
+// until polled or explicitly cancelled.
+func (j *Job) Pin() {
+	j.mu.Lock()
+	j.pinned = true
+	j.mu.Unlock()
+}
+
+// Release drops one interest reference (a waiting client that completed or
+// disconnected). When the count reaches zero on an unpinned, unfinished
+// job, the run is cancelled.
+func (j *Job) Release() {
+	if j.svc == nil {
+		return // cache-hit pseudo job
+	}
+	s := j.svc
+	s.mu.Lock()
+	j.mu.Lock()
+	j.interest--
+	abandon := j.interest <= 0 && !j.pinned && (j.state == StateQueued || j.state == StateRunning)
+	if abandon && j.state == StateQueued {
+		s.cancelQueuedLocked(j)
+		j.mu.Unlock()
+		s.mu.Unlock()
+		j.cancel()
+		return
+	}
+	j.mu.Unlock()
+	s.mu.Unlock()
+	if abandon {
+		j.cancel() // running: the runner observes ctx and unwinds
+	}
+}
+
+// JobStatus is the poll payload.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Workflow string `json:"workflow"`
+	State    string `json:"state"`
+	// Shared counts submitters deduplicated onto this run.
+	Shared int64 `json:"shared"`
+	// Cached marks a result served straight from the cache.
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.Hash, Workflow: j.Spec.Workflow, State: j.state.String(),
+		Shared: j.shared, Cached: j.cached,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// Pipeline is the shared workflow substrate.
+	Pipeline *core.Pipeline
+	// Workers is the fixed worker-pool size (default 2).
+	Workers int
+	// QueueCap bounds queued jobs; a full queue rejects with ErrQueueFull
+	// (default 16).
+	QueueCap int
+	// CacheCap bounds the LRU result cache (default 64).
+	CacheCap int
+	// Runner overrides the pipeline runner (tests).
+	Runner Runner
+	// Fingerprint overrides the pipeline fingerprint (tests without a
+	// pipeline).
+	Fingerprint string
+}
+
+// Service is the scenario engine: admission control, content-addressed
+// cache, single-flight queue, worker pool, metrics, graceful drain.
+type Service struct {
+	runner      Runner
+	fingerprint string
+	cache       *Cache
+	metrics     *Metrics
+	workers     int
+	queueCap    int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex // guards the fields below; lock order: Service.mu before Job.mu
+	queue    chan *Job
+	inflight map[string]*Job // queued or running, by hash (the single-flight table)
+	recent   []*Job          // terminal jobs kept for status polls, oldest first
+	registry map[string]*Job // every known job, for status lookup
+	draining bool
+	counts   struct {
+		queued, running        int
+		done, failed, canceled int64
+	}
+}
+
+// recentCap bounds how many terminal jobs stay pollable (results live on in
+// the LRU cache beyond this).
+const recentCap = 256
+
+// NewService builds and starts a service; callers must Drain it.
+func NewService(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	s := &Service{
+		workers:  cfg.Workers,
+		queueCap: cfg.QueueCap,
+		cache:    NewCache(cfg.CacheCap),
+		metrics:  NewMetrics(),
+		queue:    make(chan *Job, cfg.QueueCap),
+		inflight: map[string]*Job{},
+		registry: map[string]*Job{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.runner = cfg.Runner
+	if s.runner == nil {
+		s.runner = PipelineRunner(cfg.Pipeline)
+	}
+	s.fingerprint = cfg.Fingerprint
+	if s.fingerprint == "" && cfg.Pipeline != nil {
+		s.fingerprint = Fingerprint(cfg.Pipeline)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit normalizes, hashes and admits a spec. The caller holds one
+// interest reference on the returned job and must Release it (cache hits
+// return an already-done job where Release is a no-op). Identical in-flight
+// specs share one job; a full queue returns ErrQueueFull.
+func (s *Service) Submit(spec Spec) (*Job, error) {
+	ns, err := spec.Normalize()
+	if err != nil {
+		return nil, &BadSpecError{Err: err}
+	}
+	hash, err := ns.Hash(s.fingerprint)
+	if err != nil {
+		return nil, &BadSpecError{Err: err}
+	}
+	if res, ok := s.cache.Get(hash); ok {
+		return completedJob(hash, ns, res), nil
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if j, ok := s.inflight[hash]; ok {
+		j.mu.Lock()
+		j.shared++
+		j.interest++
+		j.mu.Unlock()
+		s.mu.Unlock()
+		s.metrics.incDeduped()
+		return j, nil
+	}
+	j := &Job{Hash: hash, Spec: ns, svc: s, done: make(chan struct{}), interest: 1}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	select {
+	case s.queue <- j:
+		s.inflight[hash] = j
+		s.registry[hash] = j
+		s.counts.queued++
+		s.mu.Unlock()
+		s.metrics.incSubmitted()
+		s.cache.RecordMiss()
+		return j, nil
+	default:
+		s.mu.Unlock()
+		s.metrics.incRejected()
+		return nil, ErrQueueFull
+	}
+}
+
+// Lookup returns the job for an ID, falling back to the result cache for
+// jobs whose bookkeeping has been evicted.
+func (s *Service) Lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	j, ok := s.registry[id]
+	s.mu.Unlock()
+	if ok {
+		return j, true
+	}
+	if res, ok := s.cache.Get(id); ok {
+		return completedJob(id, res.Spec, res), true
+	}
+	return nil, false
+}
+
+// Cancel cancels a queued or running job by ID. It reports whether a
+// cancellation was initiated.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.registry[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		s.cancelQueuedLocked(j)
+		j.mu.Unlock()
+		s.mu.Unlock()
+		j.cancel()
+		return true
+	case StateRunning:
+		j.mu.Unlock()
+		s.mu.Unlock()
+		j.cancel()
+		return true
+	default:
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return false
+	}
+}
+
+// cancelQueuedLocked finalizes a still-queued job as canceled. Caller holds
+// s.mu and j.mu. The worker that later pops the job skips it.
+func (s *Service) cancelQueuedLocked(j *Job) {
+	j.state = StateCanceled
+	j.err = context.Canceled
+	close(j.done)
+	delete(s.inflight, j.Hash)
+	s.counts.queued--
+	s.counts.canceled++
+	s.retainLocked(j)
+}
+
+// retainLocked records a terminal job for later status polls, evicting the
+// oldest retained job beyond recentCap. Caller holds s.mu.
+func (s *Service) retainLocked(j *Job) {
+	s.recent = append(s.recent, j)
+	for len(s.recent) > recentCap {
+		old := s.recent[0]
+		s.recent = s.recent[1:]
+		if s.registry[old.Hash] == old {
+			delete(s.registry, old.Hash)
+		}
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Service) runJob(j *Job) {
+	s.mu.Lock()
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.counts.queued--
+	s.counts.running++
+	j.mu.Unlock()
+	s.mu.Unlock()
+
+	res, err := s.runner(j.ctx, j.Spec)
+	elapsed := time.Since(j.started)
+
+	s.mu.Lock()
+	j.mu.Lock()
+	delete(s.inflight, j.Hash)
+	s.counts.running--
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.counts.done++
+		res.Hash = j.Hash
+		res.Workflow = j.Spec.Workflow
+		res.Spec = j.Spec
+		res.ElapsedSeconds = elapsed.Seconds()
+		j.result = res
+		s.cache.Put(j.Hash, res)
+		s.metrics.observeLatency(j.Spec.Workflow, elapsed.Seconds())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.err = err
+		s.counts.canceled++
+	default:
+		j.state = StateFailed
+		j.err = err
+		s.counts.failed++
+	}
+	close(j.done)
+	s.retainLocked(j)
+	j.mu.Unlock()
+	s.mu.Unlock()
+	j.cancel() // release the context's resources
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts.queued
+}
+
+// Draining reports whether the service has begun shutting down.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// MetricsSnapshot assembles the /metrics payload.
+func (s *Service) MetricsSnapshot() Snapshot {
+	submitted, rejected, deduped, latency := s.metrics.counters()
+	s.mu.Lock()
+	snap := Snapshot{
+		QueueDepth:    s.counts.queued,
+		QueueCapacity: s.queueCap,
+		Workers:       s.workers,
+		Draining:      s.draining,
+		Submitted:     submitted,
+		Rejected:      rejected,
+		Deduped:       deduped,
+		Jobs: map[string]int64{
+			"queued":   int64(s.counts.queued),
+			"running":  int64(s.counts.running),
+			"done":     s.counts.done,
+			"failed":   s.counts.failed,
+			"canceled": s.counts.canceled,
+		},
+		Latency: latency,
+	}
+	s.mu.Unlock()
+	snap.Cache = s.cache.Stats()
+	return snap
+}
+
+// Drain gracefully shuts the service down: new submissions are rejected,
+// queued and in-flight jobs run to completion, workers exit. If ctx
+// expires first, the remaining jobs are cancelled and Drain waits for the
+// workers to unwind before returning ctx.Err().
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // Submit checks draining under s.mu before sending
+	}
+	s.mu.Unlock()
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-finished
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,363 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubRunner counts executions and blocks each run on a gate until released
+// or the run's context is cancelled.
+type stubRunner struct {
+	runs    atomic.Int64
+	started chan string   // receives the spec's state+workflow when a run begins
+	gate    chan struct{} // each receive releases one run
+}
+
+func newStubRunner() *stubRunner {
+	return &stubRunner{started: make(chan string, 64), gate: make(chan struct{}, 64)}
+}
+
+func (r *stubRunner) run(ctx context.Context, spec Spec) (*Result, error) {
+	r.runs.Add(1)
+	r.started <- spec.Workflow + "/" + spec.State
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-r.gate:
+		return &Result{}, nil
+	}
+}
+
+// releaseAll opens the gate for n runs.
+func (r *stubRunner) releaseAll(n int) {
+	for i := 0; i < n; i++ {
+		r.gate <- struct{}{}
+	}
+}
+
+func stubService(t *testing.T, workers, queueCap int) (*Service, *stubRunner) {
+	t.Helper()
+	r := newStubRunner()
+	s := NewService(Config{Workers: workers, QueueCap: queueCap, Runner: r.run, Fingerprint: "test"})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, r
+}
+
+func predSpec(state string, days int) Spec {
+	return Spec{Workflow: WorkflowPrediction, State: state, Days: days}
+}
+
+func waitState(t *testing.T, j *Job, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.Status().State == want.String() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %s, want %s", j.Hash, j.Status().State, want)
+}
+
+func TestSubmitValidationErrors(t *testing.T) {
+	s, _ := stubService(t, 1, 4)
+	var bad *BadSpecError
+	if _, err := s.Submit(Spec{Workflow: "bogus"}); !errors.As(err, &bad) {
+		t.Fatalf("want BadSpecError, got %v", err)
+	}
+	if _, err := s.Submit(predSpec("ZZ", 10)); !errors.As(err, &bad) {
+		t.Fatalf("want BadSpecError for bad state, got %v", err)
+	}
+}
+
+func TestSingleflightSharesOneRun(t *testing.T) {
+	s, r := stubService(t, 2, 8)
+	j1, err := s.Submit(predSpec("VA", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started // running and blocked on the gate
+	j2, err := s.Submit(predSpec("va", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatal("identical in-flight specs did not share a job")
+	}
+	if got := j2.Status().Shared; got != 1 {
+		t.Fatalf("shared %d want 1", got)
+	}
+	r.releaseAll(1)
+	if _, err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.runs.Load(); got != 1 {
+		t.Fatalf("%d executions want 1", got)
+	}
+}
+
+func TestCacheHitSkipsQueue(t *testing.T) {
+	s, r := stubService(t, 1, 4)
+	j, err := s.Submit(predSpec("VA", 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	r.releaseAll(1)
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(predSpec("VA", 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j2.Status()
+	if st.State != "done" || !st.Cached {
+		t.Fatalf("resubmit not served from cache: %+v", st)
+	}
+	if got := r.runs.Load(); got != 1 {
+		t.Fatalf("%d executions want 1 (second served from cache)", got)
+	}
+	res, err := j2.Wait(context.Background())
+	if err != nil || res == nil {
+		t.Fatalf("cached job result: %v %v", res, err)
+	}
+	if res.Hash != j.Hash {
+		t.Fatalf("cached hash %s want %s", res.Hash, j.Hash)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	s, r := stubService(t, 1, 1)
+	// One running (blocked on the gate) + one queued fills the service.
+	j1, err := s.Submit(predSpec("VA", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	if _, err := s.Submit(predSpec("VA", 11)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Submit(predSpec("VA", 12))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if got := s.MetricsSnapshot().Rejected; got != 1 {
+		t.Fatalf("rejected %d want 1", got)
+	}
+	// Deduplication onto the running job still succeeds under a full queue.
+	if _, err := s.Submit(predSpec("VA", 10)); err != nil {
+		t.Fatalf("singleflight attach rejected: %v", err)
+	}
+	j1.Release() // drop the extra attach reference
+	r.releaseAll(2)
+}
+
+func TestReleaseCancelsAbandonedJobs(t *testing.T) {
+	s, r := stubService(t, 1, 4)
+	running, err := s.Submit(predSpec("VA", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started
+	queued, err := s.Submit(predSpec("VA", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abandoning a queued job cancels it synchronously — no worker time.
+	queued.Release()
+	if st := queued.Status().State; st != "canceled" {
+		t.Fatalf("abandoned queued job state %s want canceled", st)
+	}
+	// Abandoning a running job cancels its context; the runner unwinds.
+	running.Release()
+	waitState(t, running, StateCanceled)
+	if got := r.runs.Load(); got != 1 {
+		t.Fatalf("%d executions want 1 (queued job never ran)", got)
+	}
+	snap := s.MetricsSnapshot()
+	if snap.Jobs["canceled"] != 2 {
+		t.Fatalf("canceled count %d want 2", snap.Jobs["canceled"])
+	}
+}
+
+func TestPinnedJobSurvivesRelease(t *testing.T) {
+	s, r := stubService(t, 1, 4)
+	j, err := s.Submit(predSpec("VA", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Pin()
+	j.Release()
+	<-r.started
+	if st := j.Status().State; st != "running" {
+		t.Fatalf("pinned job state %s want running", st)
+	}
+	r.releaseAll(1)
+	waitState(t, j, StateDone)
+}
+
+func TestExplicitCancel(t *testing.T) {
+	s, r := stubService(t, 1, 4)
+	running, _ := s.Submit(predSpec("VA", 10))
+	running.Pin()
+	running.Release()
+	<-r.started
+	queued, _ := s.Submit(predSpec("VA", 11))
+	queued.Pin()
+	queued.Release()
+
+	if !s.Cancel(queued.Hash) {
+		t.Fatal("cancel queued failed")
+	}
+	if st := queued.Status().State; st != "canceled" {
+		t.Fatalf("queued job state %s want canceled", st)
+	}
+	if !s.Cancel(running.Hash) {
+		t.Fatal("cancel running failed")
+	}
+	waitState(t, running, StateCanceled)
+	if s.Cancel(running.Hash) {
+		t.Fatal("cancel of finished job reported success")
+	}
+	if s.Cancel("no-such-id") {
+		t.Fatal("cancel of unknown id reported success")
+	}
+	if got := r.runs.Load(); got != 1 {
+		t.Fatalf("%d executions want 1", got)
+	}
+}
+
+func TestLookupFindsTerminalAndCachedJobs(t *testing.T) {
+	s, r := stubService(t, 1, 4)
+	j, _ := s.Submit(predSpec("VA", 10))
+	<-r.started
+	r.releaseAll(1)
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Lookup(j.Hash)
+	if !ok || got.Status().State != "done" {
+		t.Fatalf("lookup after completion: ok=%v", ok)
+	}
+	if _, ok := s.Lookup("absent"); ok {
+		t.Fatal("lookup of unknown id succeeded")
+	}
+}
+
+func TestDrainRunsQueuedJobsThenRejects(t *testing.T) {
+	r := newStubRunner()
+	s := NewService(Config{Workers: 1, QueueCap: 8, Runner: r.run, Fingerprint: "test"})
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(predSpec("VA", 10+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	r.releaseAll(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, j := range jobs {
+		if st := j.Status().State; st != "done" {
+			t.Fatalf("job %d state %s want done after drain", i, st)
+		}
+	}
+	if _, err := s.Submit(predSpec("VA", 99)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: %v want ErrDraining", err)
+	}
+}
+
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	r := newStubRunner()
+	s := NewService(Config{Workers: 1, QueueCap: 4, Runner: r.run, Fingerprint: "test"})
+	j, err := s.Submit(predSpec("VA", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-r.started // runner blocked, never released
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain returned %v want deadline exceeded", err)
+	}
+	if st := j.Status().State; st != "canceled" {
+		t.Fatalf("straggler state %s want canceled", st)
+	}
+}
+
+func TestMetricsSnapshotShape(t *testing.T) {
+	s, r := stubService(t, 2, 4)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(predSpec("VA", 20+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.releaseAll(3)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && s.MetricsSnapshot().Jobs["done"] < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	snap := s.MetricsSnapshot()
+	if snap.Submitted != 3 || snap.Jobs["done"] != 3 {
+		t.Fatalf("snapshot %+v want 3 submitted/done", snap)
+	}
+	if snap.QueueCapacity != 4 || snap.Workers != 2 {
+		t.Fatalf("capacity/workers %d/%d want 4/2", snap.QueueCapacity, snap.Workers)
+	}
+	h, ok := snap.Latency[WorkflowPrediction]
+	if !ok || h.Count != 3 {
+		t.Fatalf("latency histogram missing or wrong count: %+v", snap.Latency)
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if !last.Inf || last.Count != 3 {
+		t.Fatalf("+Inf bucket %+v want cumulative 3", last)
+	}
+	if snap.Cache.Misses != 3 {
+		t.Fatalf("cache misses %d want 3", snap.Cache.Misses)
+	}
+}
+
+func TestRecentEvictionKeepsRegistryBounded(t *testing.T) {
+	s, r := stubService(t, 1, 4)
+	go func() {
+		for {
+			if _, ok := <-r.started; !ok {
+				return
+			}
+			r.gate <- struct{}{}
+		}
+	}()
+	var last *Job
+	for i := 0; i < recentCap+10; i++ {
+		j, err := s.Submit(predSpec("VA", (i%300)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		last = j
+	}
+	s.mu.Lock()
+	regSize, recSize := len(s.registry), len(s.recent)
+	s.mu.Unlock()
+	if recSize > recentCap || regSize > recentCap+1 {
+		t.Fatalf("registry/recent grew unbounded: %d/%d", regSize, recSize)
+	}
+	if _, ok := s.Lookup(last.Hash); !ok {
+		t.Fatal("most recent job evicted")
+	}
+	close(r.started)
+}

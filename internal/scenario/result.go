@@ -1,0 +1,62 @@
+package scenario
+
+import "repro/internal/core"
+
+// Band is a daily series with its 95% uncertainty band.
+type Band struct {
+	Median []float64 `json:"median"`
+	Lo     []float64 `json:"lo"`
+	Hi     []float64 `json:"hi"`
+}
+
+func bandFrom(f core.Forecast) Band {
+	return Band{Median: f.Median, Lo: f.Lo, Hi: f.Hi}
+}
+
+// PredictionResult is the prediction workflow's product.
+type PredictionResult struct {
+	Confirmed    Band `json:"confirmed"`
+	Hospitalized Band `json:"hospitalized"`
+	Deaths       Band `json:"deaths"`
+	// Counties is the number of county-level forecast products.
+	Counties int `json:"counties"`
+}
+
+// ScenarioResult is one what-if scenario's forecast.
+type ScenarioResult struct {
+	Name      string `json:"name"`
+	Confirmed Band   `json:"confirmed"`
+	Deaths    Band   `json:"deaths"`
+}
+
+// NightResult summarizes a simulated night (the NightReport essentials).
+type NightResult struct {
+	Tasks       int     `json:"tasks"`
+	Completed   int     `json:"completed"`
+	Unstarted   int     `json:"unstarted"`
+	Retries     int     `json:"retries"`
+	Shed        int     `json:"shed"`
+	Makespan    float64 `json:"makespan_seconds"`
+	Utilization float64 `json:"utilization"`
+	FitsWindow  bool    `json:"fits_window"`
+	ConfigBytes int64   `json:"config_bytes"`
+	SummaryB    int64   `json:"summary_bytes"`
+	RawBytes    int64   `json:"raw_bytes"`
+}
+
+// Result is a completed scenario run, keyed by the spec's content address.
+// Exactly one of Prediction / Scenarios / Night is populated, matching the
+// spec's workflow.
+type Result struct {
+	Hash     string `json:"hash"`
+	Workflow string `json:"workflow"`
+	Spec     Spec   `json:"spec"`
+
+	Prediction *PredictionResult `json:"prediction,omitempty"`
+	Scenarios  []ScenarioResult  `json:"scenarios,omitempty"`
+	Night      *NightResult      `json:"night,omitempty"`
+
+	// ElapsedSeconds is the wall time of the computation that produced the
+	// result (cache hits keep the original run's time).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}

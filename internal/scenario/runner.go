@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// PipelineRunner executes normalized specs against the shared pipeline's
+// three production workflows. The pipeline memoizes networks, population
+// databases and ground truth internally, so concurrent jobs for the same
+// region share substrates.
+func PipelineRunner(p *core.Pipeline) Runner {
+	return func(ctx context.Context, spec Spec) (*Result, error) {
+		if p == nil {
+			return nil, fmt.Errorf("scenario: no pipeline configured")
+		}
+		switch spec.Workflow {
+		case WorkflowPrediction:
+			return runPrediction(ctx, p, spec)
+		case WorkflowWhatIf:
+			return runWhatIf(ctx, p, spec)
+		case WorkflowNight:
+			return runNight(ctx, p, spec)
+		default:
+			return nil, fmt.Errorf("scenario: unknown workflow %q", spec.Workflow)
+		}
+	}
+}
+
+func predictionConfig(spec Spec) core.PredictionConfig {
+	cfg := core.PredictionConfig{
+		State: spec.State, Replicates: spec.Replicates, Days: spec.Days,
+		SHStart: spec.SHStart, SHEnd: spec.SHEnd,
+	}
+	for _, c := range spec.Configs {
+		cfg.Configs = append(cfg.Configs, c.toCore())
+	}
+	return cfg
+}
+
+func runPrediction(ctx context.Context, p *core.Pipeline, spec Spec) (*Result, error) {
+	out, err := p.RunPredictionWorkflowCtx(ctx, predictionConfig(spec))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Prediction: &PredictionResult{
+		Confirmed:    bandFrom(out.Confirmed),
+		Hospitalized: bandFrom(out.Hospitalized),
+		Deaths:       bandFrom(out.Deaths),
+		Counties:     len(out.CountyMedian),
+	}}, nil
+}
+
+func runWhatIf(ctx context.Context, p *core.Pipeline, spec Spec) (*Result, error) {
+	var scenarios []core.WhatIf
+	for _, w := range spec.WhatIfs {
+		scenarios = append(scenarios, w.toCore())
+	}
+	outs, err := p.RunWhatIfScenariosCtx(ctx, predictionConfig(spec), scenarios)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, o := range outs {
+		res.Scenarios = append(res.Scenarios, ScenarioResult{
+			Name:      o.Scenario.Name,
+			Confirmed: bandFrom(o.Confirmed),
+			Deaths:    bandFrom(o.Deaths),
+		})
+	}
+	return res, nil
+}
+
+func runNight(ctx context.Context, p *core.Pipeline, spec Spec) (*Result, error) {
+	n := spec.Night
+	rep, err := p.RunNightCtx(ctx, core.NightConfig{
+		Spec: n.workflowSpec(), Heuristic: n.Heuristic, Seed: n.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Night: &NightResult{
+		Tasks:       rep.Tasks,
+		Completed:   rep.Completed,
+		Unstarted:   rep.Unstarted,
+		Retries:     rep.Retries,
+		Shed:        len(rep.Shed),
+		Makespan:    rep.Makespan,
+		Utilization: rep.Utilization,
+		FitsWindow:  rep.FitsWindow,
+		ConfigBytes: rep.ConfigBytes,
+		SummaryB:    rep.SummaryBytes,
+		RawBytes:    rep.RawBytes,
+	}}, nil
+}

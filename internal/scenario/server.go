@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Server exposes the service over HTTP:
+//
+//	POST   /scenarios             submit a spec (JSON body); ?wait=1 blocks
+//	GET    /scenarios/{id}        poll job status
+//	GET    /scenarios/{id}/result fetch the result when done
+//	DELETE /scenarios/{id}        cancel a queued or running job
+//	GET    /healthz               liveness
+//	GET    /metrics               queue / cache / latency snapshot
+//
+// Submit responses carry the spec's content address as the job ID, so
+// clients can re-derive, share and re-poll result URLs.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /scenarios", s.handleSubmit)
+	s.mux.HandleFunc("GET /scenarios/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /scenarios/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /scenarios/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// handleSubmit admits a spec. Asynchronous submissions (the default) pin
+// the job and return 202 with its status; ?wait=1 holds the request open
+// until the job finishes and returns the result — and because the waiting
+// request is the job's only interest, a client disconnect cancels the run.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
+		return
+	}
+	job, err := s.svc.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		var bad *BadSpecError
+		if errors.As(err, &bad) {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	wait := r.URL.Query().Get("wait")
+	if wait == "" || wait == "0" || wait == "false" {
+		job.Pin()
+		job.Release()
+		writeJSON(w, http.StatusAccepted, job.Status())
+		return
+	}
+	// Synchronous: the request context carries the client's interest; when
+	// the client disconnects, Release drops the job's last reference and
+	// the run is cancelled.
+	defer job.Release()
+	res, err := job.Wait(r.Context())
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing to write
+		}
+		code := http.StatusInternalServerError
+		if errors.Is(err, errCanceledResult) || job.Status().State == StateCanceled.String() {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// errCanceledResult classifies cancellation in handleSubmit.
+var errCanceledResult = errors.New("scenario: job canceled")
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scenario")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.svc.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scenario")
+		return
+	}
+	st := job.Status()
+	switch st.State {
+	case StateDone.String():
+		res, err := job.Wait(r.Context())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case StateFailed.String():
+		writeError(w, http.StatusInternalServerError, st.Error)
+	case StateCanceled.String():
+		writeError(w, http.StatusConflict, "scenario canceled")
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.svc.Cancel(id) {
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceling"})
+		return
+	}
+	if _, ok := s.svc.Lookup(id); ok {
+		writeError(w, http.StatusConflict, "scenario already finished")
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown scenario")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.svc.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.MetricsSnapshot())
+}

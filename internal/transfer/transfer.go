@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Byte-size constants.
@@ -81,9 +82,13 @@ type Record struct {
 }
 
 // Ledger accumulates transfer records and answers the Table I / Table II
-// accounting questions.
+// accounting questions. It is safe for concurrent use: multiple workflows
+// sharing one Pipeline (the scenario service's worker pool) move bytes
+// through the same ledger.
 type Ledger struct {
-	Link    Link
+	Link Link
+
+	mu      sync.Mutex
 	Records []Record
 }
 
@@ -96,7 +101,9 @@ func (l *Ledger) Move(day int, dir Direction, label string, bytes int64) (float6
 	if err != nil {
 		return 0, err
 	}
+	l.mu.Lock()
 	l.Records = append(l.Records, Record{Day: day, Direction: dir, Label: label, Bytes: bytes, Seconds: d})
+	l.mu.Unlock()
 	return d, nil
 }
 
@@ -164,10 +171,12 @@ func (l *Ledger) MoveWithRetry(day int, dir Direction, label string, bytes int64
 		}
 		if !stalled {
 			elapsed += d
+			l.mu.Lock()
 			l.Records = append(l.Records, Record{
 				Day: day, Direction: dir, Label: label, Bytes: bytes,
 				Seconds: elapsed, Retries: attempt,
 			})
+			l.mu.Unlock()
 			return elapsed, attempt, nil
 		}
 		elapsed += l.Link.LatencySec + pol.Backoff(attempt, jitter)
@@ -177,6 +186,8 @@ func (l *Ledger) MoveWithRetry(day int, dir Direction, label string, bytes int64
 
 // TotalBytes sums transferred bytes, optionally filtered by direction.
 func (l *Ledger) TotalBytes(dir Direction) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var total int64
 	for _, r := range l.Records {
 		if r.Direction == dir {
@@ -188,6 +199,8 @@ func (l *Ledger) TotalBytes(dir Direction) int64 {
 
 // DayBytes sums one day's bytes in one direction.
 func (l *Ledger) DayBytes(day int, dir Direction) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var total int64
 	for _, r := range l.Records {
 		if r.Day == day && r.Direction == dir {
@@ -199,6 +212,8 @@ func (l *Ledger) DayBytes(day int, dir Direction) int64 {
 
 // TotalSeconds sums modeled transfer time.
 func (l *Ledger) TotalSeconds() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	total := 0.0
 	for _, r := range l.Records {
 		total += r.Seconds
@@ -208,6 +223,8 @@ func (l *Ledger) TotalSeconds() float64 {
 
 // ByLabel returns total bytes per label, sorted by label for stable output.
 func (l *Ledger) ByLabel() []LabelBytes {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	m := map[string]int64{}
 	for _, r := range l.Records {
 		m[r.Label] += r.Bytes
