@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: tier1 race vet fmt-check fuzz check
+.PHONY: tier1 race vet fmt-check fuzz check bench-json
 
 tier1:
 	$(GO) build ./...
@@ -24,6 +24,17 @@ fmt-check:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Machine-readable record of the transmission-kernel benchmarks: the Fig 7
+# runtime-vs-size sweep plus the steady-state kernel pass, with -benchmem so
+# the zero-allocation claim is part of the artifact. CI uploads the file as
+# a non-gating artifact; it is not committed.
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig7TopRuntimeVsSize$$' -benchmem . > bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkTransmissionPhase$$' -benchmem ./internal/epihiper >> bench_raw.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench_raw.txt
+	@rm -f bench_raw.txt
 
 # Short exploratory fuzz pass over the scheduler targets (the seed corpus
 # always runs as part of tier1).

@@ -1,0 +1,118 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document, so benchmark runs can be archived as machine-readable artifacts
+// (the CI bench job uploads one per commit) and diffed across revisions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH.json
+//
+// Each benchmark line "BenchmarkX-8  120  9523 ns/op  64 B/op  2 allocs/op"
+// becomes an entry with the iteration count and a metric map keyed by unit
+// (ns/op, B/op, allocs/op, plus any custom b.ReportMetric units). Context
+// lines (goos/goarch/pkg/cpu) are carried alongside each entry.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the full converted record.
+type Doc struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parse reads `go test -bench` output and collects benchmark lines and the
+// goos/goarch/pkg/cpu context headers that precede them.
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			e, err := parseBenchLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %w in line %q", err, line)
+			}
+			e.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, e)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine splits "Name N v1 unit1 v2 unit2 ..." into an Entry.
+func parseBenchLine(line string) (Entry, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Entry{}, fmt.Errorf("malformed benchmark line")
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad iteration count %q", f[1])
+	}
+	e := Entry{Name: f[0], Runs: runs, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("bad metric value %q", f[i])
+		}
+		e.Metrics[f[i+1]] = v
+	}
+	return e, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7TopRuntimeVsSize/nodes=724         	     494	   2492194 ns/op	       724.0 nodes	  454828 B/op	   12087 allocs/op
+PASS
+ok  	repro	6.709s
+pkg: repro/internal/epihiper
+BenchmarkTransmissionPhase 	   20311	     58077 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/epihiper	1.808s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("context headers not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkFig7TopRuntimeVsSize/nodes=724" || b0.Pkg != "repro" || b0.Runs != 494 {
+		t.Fatalf("first entry wrong: %+v", b0)
+	}
+	if b0.Metrics["ns/op"] != 2492194 || b0.Metrics["nodes"] != 724 || b0.Metrics["allocs/op"] != 12087 {
+		t.Fatalf("first entry metrics wrong: %v", b0.Metrics)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.Pkg != "repro/internal/epihiper" || b1.Metrics["allocs/op"] != 0 {
+		t.Fatalf("second entry wrong: %+v", b1)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken 12 34", // odd trailing fields
+		"BenchmarkBroken xyz 34 ns/op",
+		"BenchmarkBroken 12 abc ns/op",
+	} {
+		if _, err := parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("parse accepted malformed line %q", line)
+		}
+	}
+}

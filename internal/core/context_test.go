@@ -36,8 +36,10 @@ func TestPredictionWorkflowMidRunCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		// Enough replicates that cancellation lands mid-run.
-		_, err := p.RunPredictionWorkflowCtx(ctx, smallPredictionConfig(12, 60))
+		// Enough replicates that cancellation lands mid-run; sized for
+		// the optimized transmission kernel, which finishes a dozen
+		// replicates well inside the cancellation sleep.
+		_, err := p.RunPredictionWorkflowCtx(ctx, smallPredictionConfig(96, 120))
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)

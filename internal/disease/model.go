@@ -217,6 +217,17 @@ func (m *Model) Validate() error {
 	if m.Transmissibility < 0 {
 		return fmt.Errorf("disease: negative transmissibility %g", m.Transmissibility)
 	}
+	// Non-negative attributes make IsInfectious equivalent to
+	// Infectivity != 0, the invariant behind the simulator's
+	// infectious-neighbor counters and effective-infectivity bitset.
+	for s := State(0); s < NumStates; s++ {
+		if m.Attrs[s].Infectivity < 0 {
+			return fmt.Errorf("disease: negative infectivity %g in state %v", m.Attrs[s].Infectivity, s)
+		}
+		if m.Attrs[s].Susceptibility < 0 {
+			return fmt.Errorf("disease: negative susceptibility %g in state %v", m.Attrs[s].Susceptibility, s)
+		}
+	}
 	if m.Attrs[m.ExposedState].Susceptibility > 0 {
 		return fmt.Errorf("disease: exposed state %v is itself susceptible", m.ExposedState)
 	}

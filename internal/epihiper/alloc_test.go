@@ -1,0 +1,81 @@
+package epihiper
+
+import (
+	"testing"
+
+	"repro/internal/disease"
+)
+
+// This file pins the transmission kernel's allocation contract: once the
+// exposure and scratch buffers have grown to steady-state capacity, a full
+// transmission pass allocates nothing. The kernel's per-node RNG streams
+// live on the stack (stats.Seeded / stats.FirstFloat64), the per-edge
+// propensities go to the caller-owned scratch buffer, and every table it
+// reads (CSR, effInf, effMaskT, effInfBits) is preallocated — so a regression
+// here means someone reintroduced a heap allocation into the hot loop.
+
+// steadyStateSim builds a simulation frozen mid-epidemic: every 20th person
+// is moved into the model's most infectious state, so the kernel sees a
+// realistic mix of skipped, gated and contributing edges.
+func steadyStateSim(tb testing.TB) *Sim {
+	net := goldenNetwork(tb)
+	sim, err := New(Config{
+		Model:       disease.COVID19(),
+		Network:     net,
+		Days:        30,
+		Parallelism: 1,
+		Seed:        99,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	infState := disease.State(0)
+	for st := disease.State(0); st < disease.NumStates; st++ {
+		if sim.model.Attrs[st].Infectivity > sim.model.Attrs[infState].Infectivity {
+			infState = st
+		}
+	}
+	for pid := int32(0); pid < int32(net.NumNodes()); pid += 20 {
+		sim.transitionTo(pid, sim.health[pid], infState, NoInfector, 0)
+	}
+	sim.tickUpkeep(0)
+	return sim
+}
+
+// TestTransmissionPhaseZeroAlloc requires zero heap allocations per
+// transmission pass after buffer warm-up — the "allocation-free hot loop"
+// acceptance criterion, checked directly rather than inferred from
+// -benchmem deltas.
+func TestTransmissionPhaseZeroAlloc(t *testing.T) {
+	sim := steadyStateSim(t)
+	part := sim.parts[0]
+	var buf []exposure
+	var scratch []propEntry
+	buf, scratch = sim.transmissionPhase(part, 0, buf[:0], scratch[:0])
+	if len(buf) == 0 {
+		t.Fatal("warm-up pass produced no exposures; the fixture is not exercising the kernel")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		buf, scratch = sim.transmissionPhase(part, 0, buf[:0], scratch[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("transmission phase allocates %.1f times per pass; want 0", allocs)
+	}
+}
+
+// BenchmarkTransmissionPhase times one kernel pass over the ~4.3k-person
+// golden network with 5% of persons infectious; run with -benchmem, the
+// 0 B/op / 0 allocs/op columns are the steady-state record cited in
+// EXPERIMENTS.md.
+func BenchmarkTransmissionPhase(b *testing.B) {
+	sim := steadyStateSim(b)
+	part := sim.parts[0]
+	var buf []exposure
+	var scratch []propEntry
+	buf, scratch = sim.transmissionPhase(part, 0, buf[:0], scratch[:0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, scratch = sim.transmissionPhase(part, 0, buf[:0], scratch[:0])
+	}
+}

@@ -1,0 +1,190 @@
+package epihiper
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"repro/internal/disease"
+	"repro/internal/synthpop"
+)
+
+// This file pins the simulator's determinism guarantees:
+//
+//  1. Results are bit-for-bit independent of the Parallelism setting
+//     (the number of processing units / partitions), because every
+//     stochastic decision draws from an RNG keyed on (seed, node, tick,
+//     phase), never on a worker-local stream.
+//  2. The kernel's output for fixed seeds is pinned against golden
+//     hashes captured from the pre-CSR reference implementation, so a
+//     hot-path refactor that changes any output bit fails loudly.
+
+// goldenNetwork builds the mid-scale VA network (~4.3k persons) used by
+// the determinism and golden-pin tests.
+func goldenNetwork(t testing.TB) *synthpop.Network {
+	t.Helper()
+	va, err := synthpop.StateByCode("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := synthpop.DefaultConfig(777)
+	cfg.Scale = 2000
+	net, err := synthpop.Generate(va, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// hashingRecorder folds the full transition stream (tick, pid, from, to,
+// infector, in emission order) into an FNV-1a hash.
+type hashingRecorder struct {
+	h     uint64
+	count int64
+}
+
+func newHashingRecorder() *hashingRecorder {
+	return &hashingRecorder{h: 14695981039346656037}
+}
+
+func (r *hashingRecorder) Record(tick int, pid int32, from, to disease.State, infector int32) {
+	var buf [16]byte
+	buf[0] = byte(tick)
+	buf[1] = byte(tick >> 8)
+	buf[2] = byte(pid)
+	buf[3] = byte(pid >> 8)
+	buf[4] = byte(pid >> 16)
+	buf[5] = byte(pid >> 24)
+	buf[6] = byte(from)
+	buf[7] = byte(to)
+	buf[8] = byte(infector)
+	buf[9] = byte(infector >> 8)
+	buf[10] = byte(infector >> 16)
+	buf[11] = byte(infector >> 24)
+	for _, b := range buf[:12] {
+		r.h ^= uint64(b)
+		r.h *= 1099511628211
+	}
+	r.count++
+}
+
+// resultDigest folds a Result's daily series and totals into an FNV-1a
+// hash (memory trace excluded: the modeled-memory account is not part of
+// the epidemiological output contract).
+func resultDigest(res *Result) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "days=%d total=%d\n", res.Days, res.TotalInfections)
+	for d := range res.Daily {
+		fmt.Fprintf(h, "%d|%v|%v\n", d, res.Daily[d], res.Current[d])
+	}
+	return h.Sum64()
+}
+
+type goldenCase struct {
+	name string
+	ivs  func() []Intervention
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"plain", func() []Intervention { return nil }},
+		{"interventions", func() []Intervention {
+			// Mild compliance keeps the epidemic alive for the full
+			// horizon so the golden run exercises the kernel's mask,
+			// context-weight and isolation paths on a live epidemic.
+			ivs := BaseCaseInterventions(25, 70, 0.15, 0.2)
+			ivs = append(ivs,
+				&MaskMandate{StartDay: 35, EndDay: 75, WeightFactor: 0.8},
+				&TestAndIsolate{DailyDetectRate: 0.08, IsolationDays: 7},
+			)
+			return ivs
+		}},
+	}
+}
+
+func runGolden(t testing.TB, net *synthpop.Network, par int, ivs []Intervention) (*Result, *hashingRecorder) {
+	t.Helper()
+	rec := newHashingRecorder()
+	sim, err := New(Config{
+		Model:         disease.COVID19(),
+		Network:       net,
+		Days:          80,
+		Parallelism:   par,
+		Seed:          12345,
+		Seeds:         seedAll(net, 8),
+		Interventions: ivs,
+		Recorder:      rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+// TestDeterminismAcrossParallelism requires the identical Result (daily
+// series, occupancy, totals) and the identical recorder stream for 1 and
+// 8 processing units on a mid-scale state network.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	net := goldenNetwork(t)
+	for _, c := range goldenCases() {
+		t.Run(c.name, func(t *testing.T) {
+			res1, rec1 := runGolden(t, net, 1, c.ivs())
+			res8, rec8 := runGolden(t, net, 8, c.ivs())
+			if rec1.h != rec8.h || rec1.count != rec8.count {
+				t.Errorf("recorder stream differs: P1 %d events hash %#x, P8 %d events hash %#x",
+					rec1.count, rec1.h, rec8.count, rec8.h)
+			}
+			if res1.TotalInfections != res8.TotalInfections {
+				t.Errorf("total infections differ: P1 %d, P8 %d", res1.TotalInfections, res8.TotalInfections)
+			}
+			if !reflect.DeepEqual(res1.Daily, res8.Daily) || !reflect.DeepEqual(res1.Current, res8.Current) {
+				t.Error("daily series differ between P1 and P8")
+			}
+		})
+	}
+}
+
+// Golden values captured from the pre-CSR reference kernel (PR 2 tree,
+// commit 8ce6920) with the exact configuration of runGolden. The CSR /
+// allocation-free kernel must reproduce them bit-for-bit.
+var goldenPins = map[string]struct {
+	resultHash uint64
+	streamHash uint64
+	events     int64
+	infections int64
+}{
+	"plain":         {0x90f235fd4241a54f, 0x42fe70828cf8bec9, 14998, 3421},
+	"interventions": {0x6a8b060378a19717, 0x448474ae3ee321cb, 9886, 2295},
+}
+
+// TestGoldenKernelPin proves a kernel refactor did not change simulation
+// output for fixed seeds: the full Result and transition stream are
+// hashed and compared against values recorded from the reference
+// implementation, at Parallelism 1 and 8.
+func TestGoldenKernelPin(t *testing.T) {
+	net := goldenNetwork(t)
+	for _, c := range goldenCases() {
+		pin := goldenPins[c.name]
+		for _, par := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/par=%d", c.name, par), func(t *testing.T) {
+				res, rec := runGolden(t, net, par, c.ivs())
+				got := struct {
+					resultHash uint64
+					streamHash uint64
+					events     int64
+					infections int64
+				}{resultDigest(res), rec.h, rec.count, res.TotalInfections}
+				if got != pin {
+					t.Errorf("golden mismatch:\n got {resultHash: %#x, streamHash: %#x, events: %d, infections: %d}\nwant {resultHash: %#x, streamHash: %#x, events: %d, infections: %d}",
+						got.resultHash, got.streamHash, got.events, got.infections,
+						pin.resultHash, pin.streamHash, pin.events, pin.infections)
+				}
+			})
+		}
+	}
+}

@@ -2,10 +2,13 @@ package epihiper
 
 import (
 	"math"
+	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
 	"repro/internal/disease"
+	"repro/internal/stats"
 	"repro/internal/synthpop"
 )
 
@@ -40,6 +43,14 @@ type exposure struct {
 	infector int32
 }
 
+// propEntry is one contributing contact recorded in a worker's scratch
+// buffer during the propensity accumulation pass, so infector selection
+// is a single replay over the buffer instead of a second edge walk.
+type propEntry struct {
+	nbr int32
+	p   float64
+}
+
 // Run executes the configured number of ticks and returns the summary.
 // It may be called once per Sim.
 func (s *Sim) Run() (*Result, error) {
@@ -50,7 +61,36 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	nParts := len(s.parts)
 	exposuresPer := make([][]exposure, nParts)
-	progressPer := make([][]int32, nParts)
+	s.memTrace = make([]int64, 0, s.cfg.Days)
+
+	// Persistent worker pool: the workers live for the whole run and
+	// receive one partition index per tick, replacing the per-day
+	// goroutine spawn of the reference kernel. Each worker owns one
+	// scratch buffer, reused across partitions and ticks. The s.day write
+	// below happens-before the channel send, and the workers' buffer
+	// writes happen-before wg.Wait returns, so the phases stay race-free.
+	var (
+		jobs chan int
+		wg   sync.WaitGroup
+	)
+	if nParts > 1 {
+		jobs = make(chan int)
+		defer close(jobs)
+		workers := runtime.GOMAXPROCS(0)
+		if workers > nParts {
+			workers = nParts
+		}
+		for w := 0; w < workers; w++ {
+			go func() {
+				var scratch []propEntry
+				for pi := range jobs {
+					exposuresPer[pi], scratch = s.transmissionPhase(s.parts[pi], s.day, exposuresPer[pi][:0], scratch[:0])
+					wg.Done()
+				}
+			}()
+		}
+	}
+	var soloScratch []propEntry
 
 	for day := 0; day < s.cfg.Days; day++ {
 		s.day = day
@@ -60,49 +100,41 @@ func (s *Sim) Run() (*Result, error) {
 		}
 		s.runScheduled(day)
 
+		s.tickUpkeep(day)
+
 		// Phase 1: transmission. Each worker scans the susceptible nodes
 		// of its partition; reads of neighbor health are safe because
 		// health is not written during this phase (synchronous update).
-		// Phase 2: progression collection (nodes whose dwell expires
-		// today). Both phases run on the caller when there is a single
-		// partition — no goroutine round-trip for sequential runs.
+		// The phase runs on the caller when there is a single partition —
+		// no goroutine round-trip for sequential runs.
 		if nParts == 1 {
-			exposuresPer[0] = s.transmissionPhase(s.parts[0], day, exposuresPer[0][:0])
-			buf := progressPer[0][:0]
-			for pid := s.parts[0].FirstNode; pid <= s.parts[0].LastNode; pid++ {
-				if s.switchTick[pid] == int32(day) {
-					buf = append(buf, pid)
-				}
-			}
-			progressPer[0] = buf
+			exposuresPer[0], soloScratch = s.transmissionPhase(s.parts[0], day, exposuresPer[0][:0], soloScratch[:0])
 		} else {
-			var wg sync.WaitGroup
+			wg.Add(nParts)
 			for pi := range s.parts {
-				wg.Add(1)
-				go func(pi int) {
-					defer wg.Done()
-					exposuresPer[pi] = s.transmissionPhase(s.parts[pi], day, exposuresPer[pi][:0])
-				}(pi)
-			}
-			wg.Wait()
-			for pi := range s.parts {
-				wg.Add(1)
-				go func(pi int) {
-					defer wg.Done()
-					buf := progressPer[pi][:0]
-					p := s.parts[pi]
-					for pid := p.FirstNode; pid <= p.LastNode; pid++ {
-						if s.switchTick[pid] == int32(day) {
-							buf = append(buf, pid)
-						}
-					}
-					progressPer[pi] = buf
-				}(pi)
+				jobs <- pi
 			}
 			wg.Wait()
 		}
-		for _, buf := range progressPer {
-			for _, pid := range buf {
+
+		// Phase 2: fire the progressions whose dwell expires today, in
+		// ascending person order (the order the reference kernel's
+		// partition scan produced). The bucket may hold stale or
+		// duplicate entries from rescheduled progressions; switchTick
+		// arbitrates.
+		if day < len(s.progBuckets) {
+			bucket := s.progBuckets[day]
+			s.progBuckets[day] = nil
+			slices.Sort(bucket)
+			prev := int32(-1)
+			for _, pid := range bucket {
+				if pid == prev {
+					continue
+				}
+				prev = pid
+				if s.switchTick[pid] != int32(day) {
+					continue
+				}
 				s.transitionTo(pid, s.health[pid], s.nextState[pid], NoInfector, day)
 			}
 		}
@@ -139,6 +171,43 @@ func (s *Sim) Run() (*Result, error) {
 	return res, nil
 }
 
+// tickUpkeep applies the day-driven changes to the kernel's cached tables
+// before the transmission workers start. effInf and effMaskT are maintained
+// incrementally at their mutation points; what remains here is: isolation
+// windows ending today, global context flips since the last tick, and
+// (defensively) a transmissibility change.
+func (s *Sim) tickUpkeep(day int) {
+	if s.model.Transmissibility != s.lastOmega {
+		s.lastOmega = s.model.Transmissibility
+		for i := range s.effInf {
+			s.updateEffInf(int32(i))
+		}
+	}
+	if day < len(s.isolExpiry) {
+		for _, pid := range s.isolExpiry[day] {
+			s.effMaskT[pid] = s.effMask(pid)
+		}
+		s.isolExpiry[day] = nil
+	}
+	if s.maskDirtyAll {
+		s.maskDirtyAll = false
+		for i := range s.effMaskT {
+			s.effMaskT[i] = s.effMask(int32(i))
+		}
+	}
+	// propBound · σ(v) · TWSum(v) bounds v's total propensity (every
+	// factor is bounded termwise), letting the kernel reject nodes
+	// whose uniform draw cannot produce an infection without touching
+	// their edges.
+	cwMax := 0.0
+	for _, w := range s.ctxWeight {
+		if w > cwMax {
+			cwMax = w
+		}
+	}
+	s.propBound = cwMax * s.iotaMax * s.scaleHW * s.model.Transmissibility
+}
+
 // runScheduled fires queued actions due on or before the given day, in the
 // order they were scheduled.
 func (s *Sim) runScheduled(day int) {
@@ -168,77 +237,106 @@ func (s *Sim) runScheduled(day int) {
 // during the tick follows the Gillespie construction: with total propensity
 // Λ, infection occurs with probability 1 − e^{−Λ}, and the causing contact
 // is drawn proportionally to its propensity.
-func (s *Sim) transmissionPhase(p synthpop.Partition, day int, buf []exposure) []exposure {
-	omega := s.model.Transmissibility
+//
+// The hot loop runs on the network's CSR view: T·w_e is precomputed per
+// edge, ω·ι·infectivityScale comes from the per-tick effInf table, and
+// each contributing contact's propensity is pushed to the caller's
+// scratch buffer so infector selection replays the buffer instead of
+// rescanning the edges. The phase performs no heap allocation once the
+// buffers have reached steady-state capacity.
+func (s *Sim) transmissionPhase(p synthpop.Partition, day int, buf []exposure, scratch []propEntry) ([]exposure, []propEntry) {
+	offsets := s.csr.Offsets
+	csrNbr, csrCtx, csrTW := s.csr.Nbr, s.csr.Ctx, s.csr.TW
+	twSum, twMax := s.csr.TWSum, s.csr.TWMax
+	infBits := s.effInfBits
+	attrs := &s.model.Attrs
+	propBound := s.propBound
 	for pid := p.FirstNode; pid <= p.LastNode; pid++ {
-		if s.infNbrCount[pid] == 0 {
+		need := s.infNbrCount[pid]
+		if need == 0 {
 			continue // no infectious neighbors: no exposure risk today
 		}
 		st := s.health[pid]
-		if !s.model.IsSusceptible(st) {
+		sus := attrs[st].Susceptibility
+		if sus <= 0 {
 			continue
 		}
-		adj := s.net.Adj[pid]
-		if len(adj) == 0 {
-			continue
-		}
-		maskV := s.effMask(pid)
+		maskV := s.effMaskT[pid]
 		if maskV == 0 {
 			continue
 		}
-		sigma := float64(s.susceptibilityScale[pid]) * s.model.Attrs[st].Susceptibility
+		sigma := float64(s.susceptibilityScale[pid]) * sus
 		if sigma <= 0 {
 			continue
 		}
+		// Thinning: σ·propBound·min(ΣT·w, need·maxT·w) bounds the node's
+		// total propensity (at most `need` contacts contribute, each at
+		// most the row maximum), so a draw above the corresponding
+		// infection probability decides "no infection" without visiting a
+		// single edge. The per-(node, tick) RNG stream is consumed
+		// identically on both paths.
+		bound := twSum[pid]
+		if b := float64(need) * twMax[pid]; b < bound {
+			bound = b
+		}
+		seed := s.nodeSeed(pid, day, phaseTransmission)
+		u := stats.FirstFloat64(seed)
+		if notInfectedBound(u, sigma*propBound*bound) {
+			continue
+		}
+		r := stats.Seeded(seed)
+		r.Uint64() // the draw u above is this stream's first output
+		off, end := offsets[pid], offsets[pid+1]
 		total := 0.0
-		for _, e := range adj {
-			u := e.Neighbor
-			iota := s.model.Attrs[s.health[u]].Infectivity
-			if iota == 0 {
+		scratch = scratch[:0]
+		nbrs := csrNbr[off:end]
+		ctxs := csrCtx[off:end]
+		tws := csrTW[off:end]
+		found := int32(0)
+		for i, nb := range nbrs {
+			// The bitset check is the common exit (most neighbors are
+			// not infectious) and stays in L1 at any network scale; the
+			// SoA split means the scan touches only 4 bytes per skipped
+			// edge.
+			if infBits[uint32(nb)>>6]&(1<<(uint32(nb)&63)) == 0 {
 				continue
 			}
-			if maskV&(1<<uint8(e.SrcContext)) == 0 {
-				continue
+			found++
+			ctx := ctxs[i]
+			src := ctx & 7
+			if maskV&(1<<src) != 0 && s.effMaskT[nb]&(1<<(ctx>>3)) != 0 {
+				prop := tws[i] * s.ctxWeight[src] * sigma * s.effInf[nb]
+				total += prop
+				scratch = append(scratch, propEntry{nbr: nb, p: prop})
 			}
-			if s.effMask(u)&(1<<uint8(e.DstContext)) == 0 {
-				continue
+			// Every bitset-set neighbor is infectious, and there are at
+			// most `need` of those in the row: once all are seen, no
+			// later edge can contribute.
+			if found == need {
+				break
 			}
-			t := float64(e.DurationMin) / 1440.0
-			total += t * float64(e.Weight) * s.ctxWeight[e.SrcContext] * sigma * iota * float64(s.infectivityScale[u]) * omega
 		}
 		if total <= 0 {
 			continue
 		}
-		r := s.nodeRNG(pid, day, phaseTransmission)
-		if r.Float64() >= 1-expNeg(total) {
+		if !infected(u, total) {
 			continue
 		}
-		// Pick the causing contact proportionally to propensity.
+		// Pick the causing contact proportionally to propensity by
+		// replaying the recorded propensities.
 		target := r.Float64() * total
 		acc := 0.0
 		infector := NoInfector
-		for _, e := range adj {
-			u := e.Neighbor
-			iota := s.model.Attrs[s.health[u]].Infectivity
-			if iota == 0 {
-				continue
-			}
-			if maskV&(1<<uint8(e.SrcContext)) == 0 {
-				continue
-			}
-			if s.effMask(u)&(1<<uint8(e.DstContext)) == 0 {
-				continue
-			}
-			t := float64(e.DurationMin) / 1440.0
-			acc += t * float64(e.Weight) * s.ctxWeight[e.SrcContext] * sigma * iota * float64(s.infectivityScale[u]) * omega
+		for i := range scratch {
+			acc += scratch[i].p
 			if acc >= target {
-				infector = u
+				infector = scratch[i].nbr
 				break
 			}
 		}
 		buf = append(buf, exposure{pid: pid, infector: infector})
 	}
-	return buf
+	return buf, scratch
 }
 
 // expNeg returns e^{-x} guarding the common small-x case with the two-term
@@ -248,6 +346,59 @@ func expNeg(x float64) float64 {
 		return 1 - x + 0.5*x*x
 	}
 	return math.Exp(-x)
+}
+
+// expNegTable[k] = e^{-k/16}, covering x < 37.5 for the banded infection
+// test below.
+var expNegTable = func() (t [601]float64) {
+	for k := range t {
+		t[k] = math.Exp(-float64(k) / 16)
+	}
+	return
+}()
+
+// infected reports u < 1 − expNeg(x) — the Gillespie infection test —
+// with exactly the result of the direct comparison, while avoiding the
+// math.Exp call whenever the draw is clear of the decision boundary.
+// A table-plus-quadratic approximation of e^{-x} has absolute error below
+// 4.1e-5 on [1e-4, 37) (tail term f³/6 with f ≤ 1/16); draws more than
+// eps = 1e-4 away from the approximate boundary are decided outright, and
+// only the ~2e-4 fraction inside the band falls back to the exact path.
+func infected(u, x float64) bool {
+	if x >= 1e-4 && x < 37.0 {
+		k := int(x * 16)
+		f := x - float64(k)*(1.0/16)
+		a := expNegTable[k] * (1 - f + 0.5*f*f)
+		const eps = 1e-4
+		if u >= 1-(a-eps) {
+			return false
+		}
+		if u < 1-(a+eps) {
+			return true
+		}
+	}
+	return u < 1-expNeg(x)
+}
+
+// notInfectedBound reports whether the draw u decides "no infection" for
+// every possible propensity total ≤ xmax: it is true only when
+// u ≥ 1 − expNeg(t) is guaranteed for all t ≤ xmax, with margin covering
+// the e^{-x} approximation error and the float slop between the termwise
+// bound and the kernel's actual sum. False is always safe — the caller
+// then computes the exact total and decides with infected().
+func notInfectedBound(u, xmax float64) bool {
+	if xmax >= 37.0 {
+		return false
+	}
+	var a float64 // a ≤ e^{-xmax} + 4.1e-5
+	if xmax < 1e-4 {
+		a = 1 - xmax // 1−x ≤ e^{-x}
+	} else {
+		k := int(xmax * 16)
+		f := xmax - float64(k)*(1.0/16)
+		a = expNegTable[k] * (1 - f + 0.5*f*f)
+	}
+	return u >= 1-(a-2e-4)
 }
 
 // Attack returns the final fraction of the population ever infected.
@@ -264,7 +415,10 @@ func Attack(res *Result, n int) float64 {
 // has no interventions, or it supplies InterventionsFactory so each
 // replicate gets fresh (non-shared) intervention state. With only a shared
 // Interventions slice, replicates run sequentially to avoid racing on
-// stateful interventions.
+// stateful interventions. Parallel fan-out is bounded by a worker pool of
+// GOMAXPROCS goroutines — each replicate holds per-person state for the
+// whole network, so unbounded fan-out at production replicate counts
+// multiplies peak memory for no throughput gain.
 func RunReplicates(cfg Config, replicates int) ([]*Result, error) {
 	results := make([]*Result, replicates)
 	errs := make([]error, replicates)
@@ -284,14 +438,25 @@ func RunReplicates(cfg Config, replicates int) ([]*Result, error) {
 	}
 	parallelSafe := cfg.Interventions == nil || cfg.InterventionsFactory != nil
 	if parallelSafe {
-		var wg sync.WaitGroup
-		for rep := 0; rep < replicates; rep++ {
-			wg.Add(1)
-			go func(rep int) {
-				defer wg.Done()
-				runOne(rep)
-			}(rep)
+		workers := runtime.GOMAXPROCS(0)
+		if workers > replicates {
+			workers = replicates
 		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := range jobs {
+					runOne(rep)
+				}
+			}()
+		}
+		for rep := 0; rep < replicates; rep++ {
+			jobs <- rep
+		}
+		close(jobs)
 		wg.Wait()
 	} else {
 		for rep := 0; rep < replicates; rep++ {

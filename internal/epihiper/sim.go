@@ -15,6 +15,7 @@ package epihiper
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/disease"
@@ -97,12 +98,23 @@ type Sim struct {
 	cfg   Config
 	model *disease.Model
 	net   *synthpop.Network
+	// csr is the flat adjacency the transmission kernel scans: offsets +
+	// one contiguous edge array with the static T·w_e factor precomputed.
+	csr *synthpop.CSR
 
 	day int
 
 	health     []disease.State
 	nextState  []disease.State
 	switchTick []int32 // tick at which the pending progression fires; -1 none
+
+	// progBuckets[d] lists the persons whose pending progression was
+	// scheduled to fire on day d. Buckets replace the daily O(n)
+	// switchTick scan with an O(transitions) drain; switchTick remains
+	// the source of truth, so stale entries (progressions rescheduled by
+	// a later transition, e.g. under waning immunity) are filtered at
+	// drain time.
+	progBuckets [][]int32
 
 	infectivityScale    []float32
 	susceptibilityScale []float32
@@ -148,6 +160,42 @@ type Sim struct {
 	// transition) so the daily transmission scan can skip the — usually
 	// vast — majority of nodes with no exposure risk.
 	infNbrCount []int32
+
+	// Cached tables the transmission kernel reads (read-only while the
+	// workers run; all writers execute in the serial phases):
+	// effInf[u] = ω · ι(health[u]) · infectivityScale[u] is the effective
+	// infectivity a contact of u sees, and effMaskT[u] caches effMask(u).
+	// With the CSR's precomputed T·w_e, the inner edge loop reduces to
+	// two table loads and a multiply per contact. effInfBits[u/64] has
+	// bit u%64 set iff effInf[u] != 0: the bitset stays cache-resident at
+	// any network scale, so the common skip (neighbor not infectious)
+	// never touches the 8-byte effInf table. The tables are maintained
+	// incrementally at their mutation points (updateEffInf, the mask
+	// setters) rather than rebuilt O(n) every tick; Run applies the only
+	// day-driven changes — isolation windows ending today and global
+	// context flips — at the top of each tick.
+	effInf       []float64
+	effMaskT     []uint8
+	effInfBits   []uint64
+	maskDirtyAll bool
+	// isolExpiry[d] lists the persons whose isolation window ends on day
+	// d, whose cached masks must be refreshed that morning.
+	isolExpiry [][]int32
+
+	// iotaMax is the largest per-state infectivity of the model and
+	// scaleHW a high-watermark of |infectivityScale| ever set; together
+	// with the per-tick max context weight they give propBound, which
+	// bounds any node's per-edge propensity factor so the kernel can
+	// reject most nodes against σ·propBound·ΣT·w (the CSR's TWSum)
+	// without visiting a single edge.
+	iotaMax   float64
+	scaleHW   float64
+	lastOmega float64
+	propBound float64
+
+	// staticBytes caches the network-proportional term of MemoryBytes,
+	// which is constant after construction.
+	staticBytes int64
 }
 
 // TransitionEvent is one state change within the current tick.
@@ -190,19 +238,32 @@ func New(cfg Config) (*Sim, error) {
 		cfg:                 cfg,
 		model:               cfg.Model,
 		net:                 cfg.Network,
+		csr:                 cfg.Network.CSR(),
 		health:              make([]disease.State, n),
 		nextState:           make([]disease.State, n),
 		switchTick:          make([]int32, n),
+		progBuckets:         make([][]int32, cfg.Days),
 		infectivityScale:    make([]float32, n),
 		susceptibilityScale: make([]float32, n),
 		ctxMask:             make([]uint8, n),
 		globalCtxMask:       allContexts,
 		isolatedUntil:       make([]int32, n),
+		effInf:              make([]float64, n),
+		effMaskT:            make([]uint8, n),
+		effInfBits:          make([]uint64, (n+63)/64),
+		isolExpiry:          make([][]int32, cfg.Days),
+		scaleHW:             1,
+		lastOmega:           cfg.Model.Transmissibility,
 		Vars:                make(map[string]float64),
 		ivRNG:               stats.NewRNG(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5),
 	}
 	for c := range s.ctxWeight {
 		s.ctxWeight[c] = 1
+	}
+	for st := disease.State(0); st < disease.NumStates; st++ {
+		if v := cfg.Model.Attrs[st].Infectivity; v > s.iotaMax {
+			s.iotaMax = v
+		}
 	}
 	s.infNbrCount = make([]int32, n)
 	for i := 0; i < n; i++ {
@@ -210,9 +271,17 @@ func New(cfg Config) (*Sim, error) {
 		s.infectivityScale[i] = 1
 		s.susceptibilityScale[i] = 1
 		s.ctxMask[i] = allContexts
+		s.effMaskT[i] = allContexts
+		s.updateEffInf(int32(i))
 	}
 	s.currentByState[disease.Susceptible] = n
 	s.parts = cfg.Network.PartitionNodes(cfg.Parallelism, cfg.PartitionTolerance)
+	// The network-proportional memory term never changes after
+	// construction; the per-tick MemoryBytes samples only add the dynamic
+	// intervention state. NumEdges comes from the CSR offsets instead of
+	// an O(n) adjacency walk.
+	halfEdges := s.csr.Offsets[n]
+	s.staticBytes = int64(n)*32 + halfEdges*16
 
 	if err := s.applySeeding(); err != nil {
 		return nil, err
@@ -307,6 +376,7 @@ func (s *Sim) transitionTo(pid int32, from, to disease.State, infector int32, ti
 	s.currentByState[from]--
 	s.currentByState[to]++
 	s.cumByState[to]++
+	s.updateEffInf(pid)
 	// Maintain the infectious-neighbor counters.
 	wasInf := s.model.IsInfectious(from)
 	isInf := s.model.IsInfectious(to)
@@ -315,8 +385,8 @@ func (s *Sim) transitionTo(pid int32, from, to disease.State, infector int32, ti
 		if wasInf {
 			delta = -1
 		}
-		for _, e := range s.net.Adj[pid] {
-			s.infNbrCount[e.Neighbor] += delta
+		for _, v := range s.csr.Neighbors(pid) {
+			s.infNbrCount[v] += delta
 		}
 	}
 	s.todayEvents = append(s.todayEvents, TransitionEvent{PID: pid, From: from, To: to, Infector: infector})
@@ -324,14 +394,21 @@ func (s *Sim) transitionTo(pid int32, from, to disease.State, infector int32, ti
 		s.cfg.Recorder.Record(tick, pid, from, to, infector)
 	}
 	ag := s.net.Persons[pid].AgeGroup()
-	r := s.nodeRNG(pid, tick, phaseProgressionSample)
-	next, dwell, ok := s.model.Next(to, ag, r)
+	r := stats.Seeded(s.nodeSeed(pid, tick, phaseProgressionSample))
+	next, dwell, ok := s.model.Next(to, ag, &r)
 	if !ok {
 		s.switchTick[pid] = -1
 		return
 	}
 	s.nextState[pid] = next
-	s.switchTick[pid] = int32(tick + dwell)
+	fire := tick + dwell
+	s.switchTick[pid] = int32(fire)
+	// Progressions scheduled past the horizon can never fire; buckets
+	// within the current day are intentionally left undrained (matching
+	// the reference kernel, whose next scan only matched the next tick).
+	if fire < len(s.progBuckets) {
+		s.progBuckets[fire] = append(s.progBuckets[fire], pid)
+	}
 }
 
 // RNG phase salts keep the per-(node, tick) streams of different phases
@@ -341,15 +418,31 @@ const (
 	phaseProgressionSample uint64 = 0x2000000000000002
 )
 
-// nodeRNG returns the deterministic stream for one node at one tick in one
-// phase. Results are therefore independent of partitioning and worker
-// scheduling.
-func (s *Sim) nodeRNG(pid int32, tick int, phase uint64) *stats.RNG {
+// nodeSeed derives the deterministic stream seed for one node at one tick
+// in one phase. Results are therefore independent of partitioning and
+// worker scheduling. Callers materialize the stream with stats.Seeded on
+// the stack — the hot loop allocates no RNG state.
+func (s *Sim) nodeSeed(pid int32, tick int, phase uint64) uint64 {
 	h := s.cfg.Seed
 	h ^= uint64(uint32(pid)) * 0x9E3779B97F4A7C15
 	h ^= uint64(uint32(tick)) * 0xC2B2AE3D27D4EB4F
 	h ^= phase
-	return stats.NewRNG(h)
+	return h
+}
+
+// updateEffInf refreshes one person's cached effective infectivity and
+// their bit in the infectious bitset. It must be called after every write
+// to the person's health state or infectivity scale, and only from the
+// serial phases (the parallel transmission phase reads the tables).
+func (s *Sim) updateEffInf(pid int32) {
+	inf := s.model.Attrs[s.health[pid]].Infectivity * float64(s.infectivityScale[pid]) * s.model.Transmissibility
+	s.effInf[pid] = inf
+	bit := uint64(1) << (uint(pid) & 63)
+	if inf != 0 {
+		s.effInfBits[uint32(pid)>>6] |= bit
+	} else {
+		s.effInfBits[uint32(pid)>>6] &^= bit
+	}
 }
 
 // effMask returns the currently-enabled contexts of a person, combining the
@@ -389,6 +482,7 @@ func (s *Sim) SetContextEnabled(pid int32, ctx synthpop.Context, enabled bool) {
 	} else {
 		s.ctxMask[pid] &^= bit
 	}
+	s.effMaskT[pid] = s.effMask(pid)
 }
 
 // SetContextWeight scales the effective weight of every contact whose
@@ -413,6 +507,7 @@ func (s *Sim) SetGlobalContext(ctx synthpop.Context, enabled bool) {
 	} else {
 		s.globalCtxMask &^= bit
 	}
+	s.maskDirtyAll = true
 }
 
 // Isolate confines a person to home contacts until the given day
@@ -423,6 +518,11 @@ func (s *Sim) Isolate(pid int32, untilDay int) {
 			s.dynamicBytes += perScheduledChangeBytes
 		}
 		s.isolatedUntil[pid] = int32(untilDay)
+		s.effMaskT[pid] = s.effMask(pid)
+		// The cached mask must be refreshed the morning the window ends.
+		if untilDay >= 0 && untilDay < len(s.isolExpiry) {
+			s.isolExpiry[untilDay] = append(s.isolExpiry[untilDay], pid)
+		}
 	}
 }
 
@@ -433,7 +533,13 @@ func (s *Sim) IsIsolated(pid int32) bool { return int32(s.day) < s.isolatedUntil
 func (s *Sim) SetSusceptibility(pid int32, v float64) { s.susceptibilityScale[pid] = float32(v) }
 
 // SetInfectivity sets a person's infectivity scaling factor.
-func (s *Sim) SetInfectivity(pid int32, v float64) { s.infectivityScale[pid] = float32(v) }
+func (s *Sim) SetInfectivity(pid int32, v float64) {
+	s.infectivityScale[pid] = float32(v)
+	if a := math.Abs(v); a > s.scaleHW {
+		s.scaleHW = a
+	}
+	s.updateEffInf(pid)
+}
 
 // Schedule queues an action to run at the start of the given day. The
 // paper's action ensembles "delay the operation to a later point in the
@@ -466,10 +572,10 @@ const perScheduledChangeBytes = 64
 // partitioned network plus per-person state plus the intervention-driven
 // dynamic state (scheduled changes, isolation entries). The paper's
 // Figure 10 shows memory growing at intervention trigger points in
-// proportion to compliance; the dynamic term reproduces that.
+// proportion to compliance; the dynamic term reproduces that. The static
+// network term is cached at construction.
 func (s *Sim) MemoryBytes() int64 {
-	static := int64(s.net.NumNodes())*32 + int64(2*s.net.NumEdges())*16
-	return static + s.dynamicBytes
+	return s.staticBytes + s.dynamicBytes
 }
 
 // MemoryTrace returns the per-tick memory samples collected during Run.

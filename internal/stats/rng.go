@@ -32,6 +32,14 @@ func splitmix64(state *uint64) uint64 {
 // independent streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the stream of the given seed, producing
+// exactly the sequence of NewRNG(seed). It lets hot loops hold one RNG
+// value and re-key it per (node, tick) without a heap allocation.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -40,7 +48,33 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
+}
+
+// Seeded returns a value-type generator seeded like NewRNG(seed). The
+// value form lives on the caller's stack, so per-event keyed streams
+// (the simulator draws one per node per tick) cost no allocation.
+func Seeded(seed uint64) RNG {
+	var r RNG
+	r.Reseed(seed)
 	return r
+}
+
+// First64 returns the first Uint64 of the stream Seeded(seed) without
+// materializing the generator. xoshiro256**'s first output depends only
+// on s[1] (the second splitmix64 output), and the all-zero reseed guard
+// adjusts s[0] only, so two splitmix64 steps suffice. Hot paths that
+// usually need just one draw use this, and fall back to Seeded — whose
+// first Uint64 returns this same value — when more draws are required.
+func First64(seed uint64) uint64 {
+	sm := seed
+	splitmix64(&sm)
+	return rotl(splitmix64(&sm)*5, 7) * 9
+}
+
+// FirstFloat64 returns the first Float64 of the stream Seeded(seed); see
+// First64.
+func FirstFloat64(seed uint64) float64 {
+	return float64(First64(seed)>>11) * (1.0 / (1 << 53))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

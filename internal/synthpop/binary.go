@@ -16,12 +16,17 @@ import (
 // than the CSV form.
 
 const (
-	networkMagic   = 0x45504948 // "EPIH"
-	networkVersion = 1
-	partitionMagic = 0x50415254 // "PART"
+	networkMagic     = 0x45504948 // "EPIH"
+	networkVersionV1 = 1
+	networkVersion   = 2
+	partitionMagic   = 0x50415254 // "PART"
 )
 
 // WriteNetworkBinary writes persons + adjacency in the binary format.
+// Version 2 stores the adjacency in CSR order — a degree table followed
+// by one flat edge array — mirroring the in-memory layout the simulation
+// kernel runs on, so a reader can materialize the whole adjacency as a
+// single contiguous allocation.
 func WriteNetworkBinary(w io.Writer, net *Network) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	hdr := []uint32{networkMagic, networkVersion, uint32(len(net.Persons))}
@@ -52,11 +57,22 @@ func WriteNetworkBinary(w io.Writer, net *Network) error {
 			return err
 		}
 	}
+	// CSR degree table, then every half-edge in row order.
+	totalHalf := uint64(0)
+	for i := range net.Adj {
+		totalHalf += uint64(len(net.Adj[i]))
+	}
+	le.PutUint64(rec[0:], totalHalf)
+	if _, err := bw.Write(rec[:8]); err != nil {
+		return err
+	}
 	for i := range net.Adj {
 		le.PutUint32(rec[0:], uint32(len(net.Adj[i])))
 		if _, err := bw.Write(rec[:4]); err != nil {
 			return err
 		}
+	}
+	for i := range net.Adj {
 		for _, e := range net.Adj[i] {
 			le.PutUint32(rec[0:], uint32(e.Neighbor))
 			rec[4] = uint8(e.SrcContext)
@@ -73,7 +89,9 @@ func WriteNetworkBinary(w io.Writer, net *Network) error {
 	return bw.Flush()
 }
 
-// ReadNetworkBinary reads a network written by WriteNetworkBinary.
+// ReadNetworkBinary reads a network written by WriteNetworkBinary. Both
+// the CSR-ordered version-2 format and the interleaved version-1 format
+// are accepted.
 func ReadNetworkBinary(r io.Reader) (*Network, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic, version, n uint32
@@ -85,7 +103,7 @@ func ReadNetworkBinary(r io.Reader) (*Network, error) {
 	if magic != networkMagic {
 		return nil, fmt.Errorf("synthpop: bad magic %#x", magic)
 	}
-	if version != networkVersion {
+	if version != networkVersionV1 && version != networkVersion {
 		return nil, fmt.Errorf("synthpop: unsupported network version %d", version)
 	}
 	region, err := readString(br)
@@ -113,35 +131,96 @@ func ReadNetworkBinary(r io.Reader) (*Network, error) {
 			HomeLon:     math.Float32frombits(le.Uint32(rec[20:])),
 		}
 	}
+	if version == networkVersionV1 {
+		return net, readAdjV1(br, net, n)
+	}
+	return net, readAdjV2(br, net, n)
+}
+
+// readAdjV1 reads the interleaved degree/edge rows of the version-1
+// format, one allocation per row.
+func readAdjV1(br *bufio.Reader, net *Network, n uint32) error {
+	le := binary.LittleEndian
+	var rec [16]byte
 	for i := 0; i < int(n); i++ {
 		if _, err := io.ReadFull(br, rec[:4]); err != nil {
-			return nil, fmt.Errorf("synthpop: reading degree of %d: %w", i, err)
+			return fmt.Errorf("synthpop: reading degree of %d: %w", i, err)
 		}
 		deg := le.Uint32(rec[0:])
 		if deg > 1<<24 {
-			return nil, fmt.Errorf("synthpop: implausible degree %d", deg)
+			return fmt.Errorf("synthpop: implausible degree %d", deg)
 		}
 		adj := make([]HalfEdge, deg)
 		for j := range adj {
-			if _, err := io.ReadFull(br, rec[:16]); err != nil {
-				return nil, fmt.Errorf("synthpop: reading edge %d/%d: %w", i, j, err)
-			}
-			nbr := int32(le.Uint32(rec[0:]))
-			if nbr < 0 || nbr >= int32(n) {
-				return nil, fmt.Errorf("synthpop: edge endpoint %d out of range", nbr)
-			}
-			adj[j] = HalfEdge{
-				Neighbor:    nbr,
-				SrcContext:  Context(rec[4]),
-				DstContext:  Context(rec[5]),
-				StartMin:    le.Uint16(rec[8:]),
-				DurationMin: le.Uint16(rec[10:]),
-				Weight:      math.Float32frombits(le.Uint32(rec[12:])),
+			if err := readHalfEdge(br, rec[:], int32(n), &adj[j]); err != nil {
+				return fmt.Errorf("synthpop: reading edge %d/%d: %w", i, j, err)
 			}
 		}
 		net.Adj[i] = adj
 	}
-	return net, nil
+	return nil
+}
+
+// readAdjV2 reads the CSR-ordered version-2 adjacency: the degree table
+// sizes one contiguous backing array, and every Adj row becomes a
+// subslice of it — n rows, two allocations.
+func readAdjV2(br *bufio.Reader, net *Network, n uint32) error {
+	le := binary.LittleEndian
+	var rec [16]byte
+	if _, err := io.ReadFull(br, rec[:8]); err != nil {
+		return fmt.Errorf("synthpop: reading half-edge total: %w", err)
+	}
+	totalHalf := le.Uint64(rec[0:])
+	if totalHalf > uint64(n)*(1<<24) {
+		return fmt.Errorf("synthpop: implausible half-edge total %d", totalHalf)
+	}
+	degrees := make([]uint32, n)
+	sum := uint64(0)
+	for i := range degrees {
+		if _, err := io.ReadFull(br, rec[:4]); err != nil {
+			return fmt.Errorf("synthpop: reading degree of %d: %w", i, err)
+		}
+		degrees[i] = le.Uint32(rec[0:])
+		if degrees[i] > 1<<24 {
+			return fmt.Errorf("synthpop: implausible degree %d", degrees[i])
+		}
+		sum += uint64(degrees[i])
+	}
+	if sum != totalHalf {
+		return fmt.Errorf("synthpop: degree table sums to %d, header says %d", sum, totalHalf)
+	}
+	backing := make([]HalfEdge, totalHalf)
+	for i := range backing {
+		if err := readHalfEdge(br, rec[:], int32(n), &backing[i]); err != nil {
+			return fmt.Errorf("synthpop: reading edge %d: %w", i, err)
+		}
+	}
+	off := uint64(0)
+	for i, deg := range degrees {
+		net.Adj[i] = backing[off : off+uint64(deg) : off+uint64(deg)]
+		off += uint64(deg)
+	}
+	return nil
+}
+
+func readHalfEdge(br *bufio.Reader, rec []byte, n int32, e *HalfEdge) error {
+	if _, err := io.ReadFull(br, rec[:16]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	nbr := int32(le.Uint32(rec[0:]))
+	if nbr < 0 || nbr >= n {
+		return fmt.Errorf("edge endpoint %d out of range", nbr)
+	}
+	*e = HalfEdge{
+		Neighbor:    nbr,
+		SrcContext:  Context(rec[4]),
+		DstContext:  Context(rec[5]),
+		StartMin:    le.Uint16(rec[8:]),
+		DurationMin: le.Uint16(rec[10:]),
+		Weight:      math.Float32frombits(le.Uint32(rec[12:])),
+	}
+	return nil
 }
 
 // WritePartitions caches a partitioning to disk.

@@ -2,6 +2,7 @@ package synthpop
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Context is the setting in which a contact happens. The paper annotates
@@ -65,6 +66,89 @@ type Network struct {
 	Adj [][]HalfEdge
 	// CountyOfPerson caches the county FIPS per person for aggregation.
 	households []Household
+
+	csrOnce sync.Once
+	csr     *CSR
+}
+
+// CSR is the compressed-sparse-row view of the adjacency: per-node
+// offsets into contiguous half-edge arrays, in the same order as the Adj
+// rows. The flat layout removes a pointer dereference per node and keeps
+// the edge scan sequential in memory — the property Kitson et al.
+// (arXiv:2401.08124) identify as what lets per-tick kernels scale to
+// realistic networks. The per-edge fields are split structure-of-arrays
+// style because the transmission kernel's common path (neighbor not
+// infectious) needs only the 4-byte neighbor ID: scanning Nbr alone
+// moves a quarter of the memory an array-of-structs row would.
+type CSR struct {
+	Offsets []int64 // len NumNodes()+1
+	// Nbr, Ctx and TW are parallel arrays over all half-edges in row
+	// order. Ctx packs the source context in bits 0-2 and the destination
+	// context in bits 3-5 (NumContexts = 7 fits in 3 bits). TW is the
+	// static part of the per-contact propensity, contact duration as a
+	// fraction of a day times the contact weight — T·w_e of eq. (1) —
+	// kept in float64 so the product matches bit-for-bit what the
+	// reference kernel computed from DurationMin and Weight every tick.
+	Nbr []int32
+	Ctx []uint8
+	TW  []float64
+	// TWSum[i] and TWMax[i] are the sum and maximum of TW over node i's
+	// row — upper-bound ingredients the simulator uses to reject nodes
+	// without scanning their edges (TWMax sharpens the bound when only a
+	// few of the node's contacts are infectious).
+	TWSum []float64
+	TWMax []float64
+}
+
+// CtxBits packs a (source, destination) context pair the way CSR.Ctx
+// stores it.
+func CtxBits(src, dst Context) uint8 { return uint8(src) | uint8(dst)<<3 }
+
+// Neighbors returns the contiguous neighbor-ID block of node i.
+func (c *CSR) Neighbors(i int32) []int32 {
+	return c.Nbr[c.Offsets[i]:c.Offsets[i+1]]
+}
+
+// Degree returns the contact degree of node i.
+func (c *CSR) Degree(i int32) int { return int(c.Offsets[i+1] - c.Offsets[i]) }
+
+// CSR returns the flat compressed-sparse-row view of the network,
+// building it on first use (safe for concurrent callers). The view is a
+// snapshot: callers that mutate Adj afterwards — only tests do — must
+// not mix the two representations.
+func (n *Network) CSR() *CSR {
+	n.csrOnce.Do(func() {
+		total := 0
+		for _, a := range n.Adj {
+			total += len(a)
+		}
+		c := &CSR{
+			Offsets: make([]int64, len(n.Adj)+1),
+			Nbr:     make([]int32, 0, total),
+			Ctx:     make([]uint8, 0, total),
+			TW:      make([]float64, 0, total),
+			TWSum:   make([]float64, len(n.Adj)),
+			TWMax:   make([]float64, len(n.Adj)),
+		}
+		for i, adj := range n.Adj {
+			sum, max := 0.0, 0.0
+			for _, e := range adj {
+				tw := float64(e.DurationMin) / 1440.0 * float64(e.Weight)
+				c.Nbr = append(c.Nbr, e.Neighbor)
+				c.Ctx = append(c.Ctx, CtxBits(e.SrcContext, e.DstContext))
+				c.TW = append(c.TW, tw)
+				sum += tw
+				if tw > max {
+					max = tw
+				}
+			}
+			c.Offsets[i+1] = int64(len(c.Nbr))
+			c.TWSum[i] = sum
+			c.TWMax[i] = max
+		}
+		n.csr = c
+	})
+	return n.csr
 }
 
 // NumNodes returns the number of persons.
@@ -155,25 +239,27 @@ func (n *Network) PartitionNodes(p int, epsilon float64) []Partition {
 	if p <= 0 {
 		p = 1
 	}
-	totalHalf := 0
-	for _, a := range n.Adj {
-		totalHalf += len(a)
-	}
+	// Degrees come from the CSR offsets — the partitioner shares the flat
+	// layout the simulation kernel runs on.
+	csr := n.CSR()
+	nn := len(n.Adj)
+	totalHalf := int(csr.Offsets[nn])
 	target := float64(totalHalf)/float64(p) + epsilon*float64(totalHalf)/float64(p)
 	var parts []Partition
 	start := 0
 	count := 0
-	for i := range n.Adj {
-		count += len(n.Adj[i])
+	for i := 0; i < nn; i++ {
+		deg := csr.Degree(int32(i))
+		count += deg
 		lastPartition := len(parts) == p-1
 		if float64(count) > target && !lastPartition && i > start {
-			parts = append(parts, Partition{FirstNode: int32(start), LastNode: int32(i - 1), HalfEdges: count - len(n.Adj[i])})
+			parts = append(parts, Partition{FirstNode: int32(start), LastNode: int32(i - 1), HalfEdges: count - deg})
 			start = i
-			count = len(n.Adj[i])
+			count = deg
 		}
 	}
-	if start < len(n.Adj) || len(parts) == 0 {
-		last := len(n.Adj) - 1
+	if start < nn || len(parts) == 0 {
+		last := nn - 1
 		if last < start {
 			last = start
 		}
