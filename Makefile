@@ -11,6 +11,7 @@ GO ?= go
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/mcmc ./internal/calib
 
 race:
 	$(GO) test -race ./...
@@ -25,14 +26,17 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Machine-readable record of the transmission-kernel benchmarks: the Fig 7
-# runtime-vs-size sweep plus the steady-state kernel pass, with -benchmem so
-# the zero-allocation claim is part of the artifact. CI uploads the file as
-# a non-gating artifact; it is not committed.
-BENCH_JSON ?= BENCH_PR3.json
+# Machine-readable record of the performance benchmarks: the Fig 7
+# runtime-vs-size sweep, the steady-state transmission-kernel pass, and the
+# calibration stack (dense vs Woodbury likelihood, serial vs multi-chain
+# Sample at a fixed draw budget), with -benchmem so the zero-allocation
+# claims are part of the artifact. CI uploads the file as a non-gating
+# artifact; it is not committed.
+BENCH_JSON ?= BENCH_PR4.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7TopRuntimeVsSize$$' -benchmem . > bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTransmissionPhase$$' -benchmem ./internal/epihiper >> bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkLogLik|BenchmarkSample' -benchmem ./internal/calib >> bench_raw.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench_raw.txt
 	@rm -f bench_raw.txt
 

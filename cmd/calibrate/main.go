@@ -9,12 +9,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/mcmc"
 	"repro/internal/stats"
 )
 
@@ -24,7 +26,10 @@ func main() {
 	days := flag.Int("days", 70, "calibration horizon")
 	scale := flag.Int("scale", 20000, "population scale (1:N)")
 	seed := flag.Uint64("seed", 2020, "random seed")
-	steps := flag.Int("steps", 1200, "MCMC steps")
+	steps := flag.Int("steps", 1200, "MCMC steps per chain")
+	chains := flag.Int("chains", 4, "over-dispersed MCMC chains")
+	rhatMax := flag.Float64("rhat-max", 0, "fail if any split-R̂ exceeds this (0: advisory only)")
+	minESS := flag.Float64("min-ess", 0, "fail if any pooled ESS is below this (0: advisory only)")
 	out := flag.String("out", "", "posterior CSV path (omit for stdout summary only)")
 	flag.Parse()
 
@@ -34,12 +39,30 @@ func main() {
 
 	res, err := p.RunCalibrationWorkflow(core.CalibrationConfig{
 		State: *state, Cells: *cells, Days: *days, Steps: *steps,
+		Chains: *chains, RHatMax: *rhatMax, MinESS: *minESS,
 	})
-	if err != nil {
+	var convErr *mcmc.ConvergenceError
+	if errors.As(err, &convErr) {
+		// Gate failed, but the posterior is still attached: report and
+		// keep going so the diagnostics below can be inspected.
+		fmt.Printf("WARNING: %v\n", convErr)
+	} else if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\nsimulated %d prior cells; MCMC acceptance %.2f\n", len(res.Sims), res.AcceptRate)
+	fmt.Printf("\nsimulated %d prior cells; MCMC acceptance %.2f (%d chains)\n",
+		len(res.Sims), res.AcceptRate, *chains)
+	coords := []string{"TAU", "SYMP", "SH", "VHI", "σδ", "σε"}
+	for k := range res.RHat {
+		name := fmt.Sprintf("dim%d", k)
+		if k < len(coords) {
+			name = coords[k]
+		}
+		fmt.Printf("  %-5s split-R̂ %.3f  ESS %.0f\n", name, res.RHat[k], res.ESS[k])
+	}
+	if !res.Converged {
+		fmt.Println("  convergence: NOT MET — consider more steps or chains")
+	}
 	summarize := func(name string, get func(core.Params) float64) {
 		prior := make([]float64, len(res.Prior))
 		post := make([]float64, len(res.Posterior))
@@ -85,5 +108,8 @@ func main() {
 			fmt.Fprintf(f, "%g,%g,%g,%g\n", pr.TAU, pr.SYMP, pr.SHCompliance, pr.VHICompliance)
 		}
 		fmt.Printf("wrote %d posterior configurations to %s\n", len(res.Posterior), *out)
+	}
+	if convErr != nil {
+		os.Exit(1) // a requested convergence gate failed
 	}
 }

@@ -8,11 +8,16 @@
 // δ a systematic discrepancy expanded over 1-d normal kernels with an sd
 // of 15 days spaced 10 days apart (eq. 5), and ε observation noise. The
 // posterior over θ (and the δ/ε scale hyperparameters, which carry gamma
-// priors) is explored by Metropolis MCMC; the output is a set of plausible
-// configurations that the prediction workflow then re-simulates.
+// priors) is explored by multiple over-dispersed Metropolis chains run in
+// parallel, pooled after burn-in and diagnosed with split-R̂ and ESS; the
+// likelihood exploits Σ = D + σδ²VVᵀ via the Woodbury identity so each
+// MCMC step costs O(T·pδ²) instead of a dense T×T Cholesky. The output is
+// a set of plausible configurations that the prediction workflow then
+// re-simulates.
 package calib
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -83,9 +88,26 @@ type Config struct {
 	// Discrepancy kernel shape (defaults: sd 15 days, spacing 10 days).
 	DiscrepancySD, DiscrepancySpacing float64
 
-	// MCMC controls.
+	// MCMC controls. Steps and BurnIn are per chain; Chains over-dispersed
+	// chains (default 4) run concurrently, capped at Parallelism workers.
+	// The pooled posterior is bit-identical for a fixed Seed at any
+	// Parallelism.
 	Steps, BurnIn int
 	Seed          uint64
+	Chains        int
+	Parallelism   int
+
+	// RHatMax, when > 0, gates convergence: Sample still returns the
+	// posterior (with diagnostics filled in) but pairs it with a
+	// *mcmc.ConvergenceError when any coordinate's split-R̂ exceeds the
+	// gate. MinESS (> 0) additionally requires that much pooled effective
+	// sample size per coordinate.
+	RHatMax float64
+	MinESS  float64
+
+	// DenseLik forces the O(T³) dense-Cholesky likelihood instead of the
+	// Woodbury fast path — the verification/benchmark reference.
+	DenseLik bool
 
 	// Hyperparameter bounds: the discrepancy scale σδ and noise scale σε
 	// are sampled alongside θ with gamma(2, 2/scale₀) priors. Defaults
@@ -127,34 +149,123 @@ func Fit(d *Design, obs []float64, cfg Config) (*Calibrator, error) {
 	return &Calibrator{Design: d, Em: em, Scaler: scaler, Obs: obs, VBasis: vb}, nil
 }
 
+// likScratch holds one MCMC chain's likelihood working set: emulator
+// prediction buffers and the small Woodbury system. Chains evaluating the
+// likelihood concurrently each own a scratch, so the shared Calibrator
+// stays read-only.
+type likScratch struct {
+	buf            *gp.MultiBuf
+	mean, variance []float64      // T
+	r              []float64      // T: residual y − η̂(θ)
+	dinv           []float64      // T: 1/D_ii
+	u, z           []float64      // p: Vᵀ D⁻¹ r and B⁻¹-solve scratch
+	small, smallL  *linalg.Matrix // p × p: B = I + σδ² Vᵀ D⁻¹ V and its factor
+}
+
+func (c *Calibrator) newScratch() *likScratch {
+	T := len(c.Obs)
+	p := c.VBasis.Cols
+	return &likScratch{
+		buf:  c.Em.NewBuf(),
+		mean: make([]float64, T), variance: make([]float64, T),
+		r: make([]float64, T), dinv: make([]float64, T),
+		u: make([]float64, p), z: make([]float64, p),
+		small: linalg.NewMatrix(p, p), smallL: linalg.NewMatrix(p, p),
+	}
+}
+
 // logLik evaluates the marginal log likelihood of the observation at a
 // unit-cube θ with discrepancy scale sdDelta and noise scale sdEps: the
 // residual r = y − η̂(θ) has covariance
 //
-//	Σ = diag(emulator variance) + σδ² V Vᵀ + σε² I,
+//	Σ = diag(emulator variance) + σδ² V Vᵀ + σε² I  =  D + σδ² V Vᵀ,
 //
 // which marginalizes both the emulator uncertainty and the kernel-expanded
-// discrepancy of eq. (5).
-func (c *Calibrator) logLik(thetaUnit []float64, sdDelta, sdEps float64) float64 {
-	mean, variance := c.Em.Predict(thetaUnit)
+// discrepancy of eq. (5). Because D is diagonal and V is T × pδ with small
+// pδ, Woodbury and the matrix-determinant lemma reduce the per-step cost
+// from the O(T³) dense Cholesky to O(T·pδ²):
+//
+//	Σ⁻¹ = D⁻¹ − σδ² D⁻¹ V B⁻¹ Vᵀ D⁻¹,  log|Σ| = log|D| + log|B|,
+//	B   = I + σδ² Vᵀ D⁻¹ V  (pδ × pδ).
+//
+// If the small system is ill-conditioned the dense path is the fallback.
+func (c *Calibrator) logLik(thetaUnit []float64, sdDelta, sdEps float64, s *likScratch) float64 {
+	c.Em.PredictInto(thetaUnit, s.mean, s.variance, s.buf)
+	T := len(c.Obs)
+	p := c.VBasis.Cols
+	vd2 := sdDelta * sdDelta
+
+	logDetD := 0.0
+	quadD := 0.0
+	for i := 0; i < T; i++ {
+		d := s.variance[i] + sdEps*sdEps + 1e-9
+		s.dinv[i] = 1 / d
+		logDetD += math.Log(d)
+		ri := c.Obs[i] - s.mean[i]
+		s.r[i] = ri
+		quadD += ri * ri * s.dinv[i]
+	}
+
+	// B = I + σδ² Vᵀ D⁻¹ V and u = Vᵀ D⁻¹ r, both O(T·p²).
+	for j := 0; j < p; j++ {
+		s.u[j] = 0
+		for k := j; k < p; k++ {
+			s.small.Set(j, k, 0)
+		}
+	}
+	for i := 0; i < T; i++ {
+		di := s.dinv[i]
+		row := c.VBasis.Data[i*p : (i+1)*p]
+		for j := 0; j < p; j++ {
+			vij := row[j] * di
+			s.u[j] += vij * s.r[i]
+			scaled := vij * vd2
+			for k := j; k < p; k++ {
+				s.small.Add(j, k, scaled*row[k])
+			}
+		}
+	}
+	for j := 0; j < p; j++ {
+		s.small.Add(j, j, 1)
+		for k := j + 1; k < p; k++ {
+			s.small.Set(k, j, s.small.At(j, k))
+		}
+	}
+
+	if err := linalg.CholeskyInto(s.small, s.smallL); err != nil {
+		return c.logLikDense(sdDelta, sdEps, s)
+	}
+	linalg.ForwardSolveInto(s.smallL, s.u, s.z)
+	linalg.BackSolveTInto(s.smallL, s.z, s.z)
+	quad := quadD - vd2*linalg.Dot(s.u, s.z)
+	return -0.5*quad - 0.5*(logDetD+linalg.LogDetCholesky(s.smallL))
+}
+
+// logLikDense is the reference O(T³) evaluation of the same marginal
+// likelihood: it materializes Σ and Cholesky-factors it. It is the fallback
+// when the Woodbury small system is ill-conditioned, the verification
+// oracle for the property tests, and the benchmark baseline. The caller
+// must have filled s.mean/s.variance/s.r (logLik does; standalone callers
+// run PredictInto first).
+func (c *Calibrator) logLikDense(sdDelta, sdEps float64, s *likScratch) float64 {
 	T := len(c.Obs)
 	sigma := linalg.NewMatrix(T, T)
 	for i := 0; i < T; i++ {
-		sigma.Set(i, i, variance[i]+sdEps*sdEps+1e-9)
+		sigma.Set(i, i, s.variance[i]+sdEps*sdEps+1e-9)
 	}
 	vd2 := sdDelta * sdDelta
 	if vd2 > 0 {
 		p := c.VBasis.Cols
 		for i := 0; i < T; i++ {
 			for j := i; j < T; j++ {
-				s := 0.0
+				sum := 0.0
 				for k := 0; k < p; k++ {
-					s += c.VBasis.At(i, k) * c.VBasis.At(j, k)
+					sum += c.VBasis.At(i, k) * c.VBasis.At(j, k)
 				}
-				s *= vd2
-				sigma.Add(i, j, s)
+				sum *= vd2
+				sigma.Add(i, j, sum)
 				if j != i {
-					sigma.Add(j, i, s)
+					sigma.Add(j, i, sum)
 				}
 			}
 		}
@@ -163,16 +274,13 @@ func (c *Calibrator) logLik(thetaUnit []float64, sdDelta, sdEps float64) float64
 	if err != nil {
 		return math.Inf(-1)
 	}
-	r := make([]float64, T)
-	for i := range r {
-		r[i] = c.Obs[i] - mean[i]
-	}
-	alpha := linalg.SolveCholesky(l, r)
-	return -0.5*linalg.Dot(r, alpha) - 0.5*linalg.LogDetCholesky(l)
+	alpha := linalg.SolveCholesky(l, s.r)
+	return -0.5*linalg.Dot(s.r, alpha) - 0.5*linalg.LogDetCholesky(l)
 }
 
 // Posterior holds the calibration output: plausible configurations in
-// natural units, plus the sampled hyperparameters.
+// natural units, the sampled hyperparameters, and the multi-chain
+// convergence diagnostics.
 type Posterior struct {
 	Thetas     [][]float64 // natural units
 	SigmaDelta []float64
@@ -180,11 +288,23 @@ type Posterior struct {
 	AcceptRate float64
 	MAPTheta   []float64
 	MAPLogPost float64
+
+	// Chains is the number of pooled chains; RHat/ESS are the split-R̂
+	// and pooled effective sample size of each sampled coordinate
+	// ([θ_unit (d), σδ, σε]); Converged reports the gate outcome (against
+	// Config.RHatMax/MinESS, or mcmc.DefaultRHatMax advisory otherwise).
+	Chains    int
+	RHat      []float64
+	ESS       []float64
+	Converged bool
 }
 
-// Sample runs the MCMC and returns `count` posterior configurations thinned
-// from the chain (the VA case study generates 100 posterior
-// configurations).
+// Sample runs the multi-chain MCMC and returns `count` posterior
+// configurations thinned from the pooled chains (the VA case study
+// generates 100 posterior configurations). When a convergence gate is
+// configured (Config.RHatMax or MinESS) and fails, the posterior is still
+// returned — diagnostics filled in — together with the
+// *mcmc.ConvergenceError describing the failure.
 func (c *Calibrator) Sample(cfg Config, count int) (*Posterior, error) {
 	d := len(c.Design.Ranges)
 	obsScale := stats.StdDev(c.Obs)
@@ -225,24 +345,50 @@ func (c *Calibrator) Sample(cfg Config, count int) (*Posterior, error) {
 		rate := 2.0 / scale
 		return math.Log(rate) + math.Log(rate*x) - rate*x // shape-2 gamma, up to constants
 	}
-	target := func(p []float64) float64 {
-		theta := p[:d]
-		sdDelta, sdEps := p[d], p[d+1]
-		ll := c.logLik(theta, sdDelta, sdEps)
-		return ll + gammaLogPrior(sdDelta, sdDeltaMax/4) + gammaLogPrior(sdEps, sdEpsMax/4)
+	// One likelihood scratch per chain: the Calibrator itself stays
+	// read-only, so chains share the fitted emulator without locks.
+	newTarget := func(int) mcmc.LogTarget {
+		s := c.newScratch()
+		return func(p []float64) float64 {
+			theta := p[:d]
+			sdDelta, sdEps := p[d], p[d+1]
+			var ll float64
+			if cfg.DenseLik {
+				c.Em.PredictInto(theta, s.mean, s.variance, s.buf)
+				for i := range s.r {
+					s.r[i] = c.Obs[i] - s.mean[i]
+				}
+				ll = c.logLikDense(sdDelta, sdEps, s)
+			} else {
+				ll = c.logLik(theta, sdDelta, sdEps, s)
+			}
+			return ll + gammaLogPrior(sdDelta, sdDeltaMax/4) + gammaLogPrior(sdEps, sdEpsMax/4)
+		}
 	}
-	res, err := mcmc.Metropolis(target, mcmc.Config{
-		Init: init, Lo: lo, Hi: hi,
-		Steps: steps, BurnIn: burn, Thin: 1,
-		StepFrac: 0.06, Seed: cfg.Seed,
+	res, runErr := mcmc.RunChains(newTarget, mcmc.MultiConfig{
+		Config: mcmc.Config{
+			Init: init, Lo: lo, Hi: hi,
+			Steps: steps, BurnIn: burn, Thin: 1,
+			StepFrac: 0.06, Seed: cfg.Seed,
+		},
+		Chains: cfg.Chains, Parallelism: cfg.Parallelism,
+		RHatMax: cfg.RHatMax, MinESS: cfg.MinESS,
 	})
-	if err != nil {
-		return nil, err
+	if res == nil {
+		return nil, runErr
+	}
+	var convErr *mcmc.ConvergenceError
+	if runErr != nil && !errors.As(runErr, &convErr) {
+		return nil, runErr
 	}
 	if count <= 0 {
 		count = 100
 	}
-	post := &Posterior{AcceptRate: res.AcceptRate, MAPLogPost: res.BestLogP}
+	post := &Posterior{
+		AcceptRate: res.AcceptRate, MAPLogPost: res.BestLogP,
+		Chains: len(res.Chains), RHat: res.RHat, ESS: res.ESS,
+		Converged: res.Converged,
+	}
 	post.MAPTheta = c.Scaler.FromUnit(res.Best[:d])
 	stride := len(res.Samples) / count
 	if stride < 1 {
@@ -254,7 +400,7 @@ func (c *Calibrator) Sample(cfg Config, count int) (*Posterior, error) {
 		post.SigmaDelta = append(post.SigmaDelta, s[d])
 		post.SigmaEps = append(post.SigmaEps, s[d+1])
 	}
-	return post, nil
+	return post, runErr
 }
 
 // EmulatorBand returns the emulator's mean and 95% band at a natural-units

@@ -217,7 +217,15 @@ type CalibrationConfig struct {
 	SHStart, SHEnd int
 	// MCMC controls.
 	Steps, BurnIn, PosteriorSize int
-	Day                          int // pipeline day for transfer accounting
+	// Chains is the number of over-dispersed MCMC chains (default 4) and
+	// ChainParallelism how many run concurrently (default: all). Results
+	// are bit-identical for a fixed seed at any parallelism.
+	Chains, ChainParallelism int
+	// RHatMax / MinESS, when positive, gate the posterior on split-R̂ and
+	// effective sample size: a failed gate surfaces as a
+	// *mcmc.ConvergenceError alongside the (still usable) outcome.
+	RHatMax, MinESS float64
+	Day             int // pipeline day for transfer accounting
 
 	// TruthOffset aligns simulation day 0 with the surveillance day when
 	// community spread begins (default 40: early March for a Jan 21
@@ -289,6 +297,11 @@ type CalibrationOutcome struct {
 	// ObsLog is the logged ground-truth cumulative series the fit used.
 	ObsLog     []float64
 	AcceptRate float64
+	// Chain diagnostics from the multi-chain sampler: split-R̂ and ESS per
+	// MCMC coordinate ([θ..., σδ, σε]) and whether the run met the
+	// configured (or default-advisory) convergence thresholds.
+	RHat, ESS []float64
+	Converged bool
 	// MeanSigmaDelta / MeanSigmaEps are the posterior means of the
 	// discrepancy and observation-noise scales, used by the Figure 16
 	// predictive band.
@@ -373,11 +386,25 @@ func (p *Pipeline) RunCalibrationWorkflowCtx(ctx context.Context, cfg Calibratio
 	post, err := cal.Sample(calib.Config{
 		Steps: cfg.Steps, BurnIn: cfg.BurnIn, Seed: p.Seed ^ 0x9057E7107,
 		SigmaDeltaMax: cfg.SigmaDeltaMax,
+		Chains:        cfg.Chains, Parallelism: cfg.ChainParallelism,
+		RHatMax: cfg.RHatMax, MinESS: cfg.MinESS,
 	}, cfg.PosteriorSize)
-	if err != nil {
+	if post == nil {
 		return nil, err
 	}
+	out.fillPosterior(post)
+	// A convergence-gate failure still delivers the outcome so callers can
+	// inspect the diagnostics (and, e.g., rerun with more steps).
+	return out, err
+}
+
+// fillPosterior copies the sampled posterior and its chain diagnostics
+// into the outcome.
+func (out *CalibrationOutcome) fillPosterior(post *calib.Posterior) {
 	out.AcceptRate = post.AcceptRate
+	out.RHat = post.RHat
+	out.ESS = post.ESS
+	out.Converged = post.Converged
 	out.MeanSigmaDelta = stats.Mean(post.SigmaDelta)
 	out.MeanSigmaEps = stats.Mean(post.SigmaEps)
 	for _, th := range post.Thetas {
@@ -385,7 +412,6 @@ func (p *Pipeline) RunCalibrationWorkflowCtx(ctx context.Context, cfg Calibratio
 			TAU: th[0], SYMP: th[1], SHCompliance: th[2], VHICompliance: th[3],
 		})
 	}
-	return out, nil
 }
 
 // RefitCalibration re-runs the Bayesian fit of an existing calibration
@@ -441,19 +467,14 @@ func (p *Pipeline) RefitCalibration(prev *CalibrationOutcome, newDays int) (*Cal
 	post, err := cal.Sample(calib.Config{
 		Steps: cfg.Steps, BurnIn: cfg.BurnIn, Seed: p.Seed ^ 0x9057E7107 ^ uint64(newDays),
 		SigmaDeltaMax: cfg.SigmaDeltaMax,
+		Chains:        cfg.Chains, Parallelism: cfg.ChainParallelism,
+		RHatMax: cfg.RHatMax, MinESS: cfg.MinESS,
 	}, cfg.PosteriorSize)
-	if err != nil {
+	if post == nil {
 		return nil, err
 	}
-	out.AcceptRate = post.AcceptRate
-	out.MeanSigmaDelta = stats.Mean(post.SigmaDelta)
-	out.MeanSigmaEps = stats.Mean(post.SigmaEps)
-	for _, th := range post.Thetas {
-		out.Posterior = append(out.Posterior, Params{
-			TAU: th[0], SYMP: th[1], SHCompliance: th[2], VHICompliance: th[3],
-		})
-	}
-	return out, nil
+	out.fillPosterior(post)
+	return out, err
 }
 
 // PredictionConfig parameterizes the prediction workflow (Figure 5).

@@ -16,6 +16,7 @@ package gp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -30,26 +31,40 @@ type GP struct {
 	Nugget float64
 	chol   *linalg.Matrix // Cholesky of C = R + g I
 	alpha  []float64      // C^{-1} w
+	logRho []float64      // precomputed log ρ_k for the corr fast path
 }
 
-// corr evaluates the paper's Gaussian correlation between two points.
-func corr(a, b, rho []float64) float64 {
-	c := 1.0
+// corr evaluates the paper's Gaussian correlation between two points via the
+// precomputed-log form: ∏_k ρ_k^{4d²} = exp(4 Σ_k d² log ρ_k) — a single
+// Exp per pair instead of d Pows. The fitted ρ live in (0,1), so log ρ is
+// finite and the two forms agree to rounding.
+func corr(a, b, logRho []float64) float64 {
+	s := 0.0
 	for k := range a {
 		d := a[k] - b[k]
-		c *= math.Pow(rho[k], 4*d*d)
+		s += d * d * logRho[k]
 	}
-	return c
+	return math.Exp(4 * s)
+}
+
+// logRhoOf precomputes log ρ_k once per fitted parameter vector.
+func logRhoOf(rho []float64) []float64 {
+	lr := make([]float64, len(rho))
+	for k, r := range rho {
+		lr[k] = math.Log(r)
+	}
+	return lr
 }
 
 // corrMatrix builds R + g·I over the design.
 func corrMatrix(x [][]float64, rho []float64, nugget float64) *linalg.Matrix {
+	lr := logRhoOf(rho)
 	n := len(x)
 	m := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		m.Set(i, i, 1+nugget)
 		for j := i + 1; j < n; j++ {
-			c := corr(x[i], x[j], rho)
+			c := corr(x[i], x[j], lr)
 			m.Set(i, j, c)
 			m.Set(j, i, c)
 		}
@@ -150,20 +165,46 @@ func Fit(x [][]float64, w []float64) (*GP, error) {
 	return &GP{
 		X: x, w: append([]float64(nil), w...),
 		Rho: rho, Lambda: lambda, Nugget: bestNugget,
-		chol: l, alpha: alpha,
+		chol: l, alpha: alpha, logRho: logRhoOf(rho),
 	}, nil
 }
 
 // Predict returns the posterior mean and variance at a scaled input point.
 func (g *GP) Predict(theta []float64) (mean, variance float64) {
 	n := len(g.X)
-	r := make([]float64, n)
+	buf := NewPredictBuf(n)
+	return g.PredictInto(theta, buf)
+}
+
+// PredictBuf holds the per-prediction scratch of one GP (or of a MultiGP
+// whose design all GPs share). One buffer per goroutine: predictions into
+// distinct buffers are safe concurrently.
+type PredictBuf struct {
+	r, y []float64
+}
+
+// NewPredictBuf sizes a scratch buffer for a design of n points.
+func NewPredictBuf(n int) *PredictBuf {
+	return &PredictBuf{
+		r: make([]float64, n),
+		y: make([]float64, n),
+	}
+}
+
+// PredictInto is Predict reusing caller scratch, for likelihood hot loops
+// that evaluate the emulator once per MCMC step.
+func (g *GP) PredictInto(theta []float64, buf *PredictBuf) (mean, variance float64) {
+	n := len(g.X)
+	r := buf.r[:n]
 	for i := 0; i < n; i++ {
-		r[i] = corr(theta, g.X[i], g.Rho)
+		r[i] = corr(theta, g.X[i], g.logRho)
 	}
 	mean = linalg.Dot(r, g.alpha)
-	v := linalg.SolveCholesky(g.chol, r)
-	variance = (1 + g.Nugget - linalg.Dot(r, v)) / g.Lambda
+	// rᵀC⁻¹r = ‖L⁻¹r‖², so a single forward solve suffices — no
+	// back-substitution.
+	y := buf.y[:n]
+	linalg.ForwardSolveInto(g.chol, r, y)
+	variance = (1 + g.Nugget - linalg.Dot(y, y)) / g.Lambda
 	if variance < 0 {
 		variance = 0
 	}
@@ -272,12 +313,24 @@ func FitMulti(x [][]float64, y *linalg.Matrix, numBasis int) (*MultiGP, error) {
 		resid[t] /= float64(n)
 	}
 	m := &MultiGP{Mean: mean, Basis: basis, Explained: explained, ResidVar: resid}
+	// The per-basis GPs are independent (each sees only its own weight
+	// column), so fit them concurrently; results are positional, keeping
+	// the fit deterministic regardless of scheduling.
+	m.GPs = make([]*GP, pEta)
+	errs := make([]error, pEta)
+	var wg sync.WaitGroup
 	for k := 0; k < pEta; k++ {
-		gpk, err := Fit(x, weights.Col(k))
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			m.GPs[k], errs[k] = Fit(x, weights.Col(k))
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("gp: basis %d: %w", k, err)
 		}
-		m.GPs = append(m.GPs, gpk)
 	}
 	return m, nil
 }
@@ -285,27 +338,53 @@ func FitMulti(x [][]float64, y *linalg.Matrix, numBasis int) (*MultiGP, error) {
 // Predict returns the emulated output mean and pointwise variance at a
 // unit-cube input.
 func (m *MultiGP) Predict(theta []float64) (mean, variance []float64) {
-	pEta := len(m.GPs)
-	wMean := make([]float64, pEta)
-	wVar := make([]float64, pEta)
-	for k, g := range m.GPs {
-		wMean[k], wVar[k] = g.Predict(theta)
-	}
 	t := len(m.Mean)
 	mean = make([]float64, t)
 	variance = make([]float64, t)
+	m.PredictInto(theta, mean, variance, m.NewBuf())
+	return mean, variance
+}
+
+// MultiBuf is per-goroutine scratch for MultiGP predictions; one per MCMC
+// chain lets concurrent likelihood evaluations share a fitted emulator
+// without allocation or synchronization.
+type MultiBuf struct {
+	pb          *PredictBuf
+	wMean, wVar []float64
+}
+
+// NewBuf sizes a scratch buffer for this emulator.
+func (m *MultiGP) NewBuf() *MultiBuf {
+	n := 0
+	if len(m.GPs) > 0 {
+		n = len(m.GPs[0].X)
+	}
+	return &MultiBuf{
+		pb:    NewPredictBuf(n),
+		wMean: make([]float64, len(m.GPs)),
+		wVar:  make([]float64, len(m.GPs)),
+	}
+}
+
+// PredictInto is Predict into caller-provided mean/variance slices (length
+// T) using the given scratch buffer.
+func (m *MultiGP) PredictInto(theta, mean, variance []float64, buf *MultiBuf) {
+	pEta := len(m.GPs)
+	for k, g := range m.GPs {
+		buf.wMean[k], buf.wVar[k] = g.PredictInto(theta, buf.pb)
+	}
+	t := len(m.Mean)
 	for i := 0; i < t; i++ {
 		v := m.Mean[i]
 		s2 := m.ResidVar[i]
-		for k := 0; k < pEta; k++ {
-			b := m.Basis.At(i, k)
-			v += b * wMean[k]
-			s2 += b * b * wVar[k]
+		row := m.Basis.Data[i*m.Basis.Cols : i*m.Basis.Cols+pEta]
+		for k, b := range row {
+			v += b * buf.wMean[k]
+			s2 += b * b * buf.wVar[k]
 		}
 		mean[i] = v
 		variance[i] = s2
 	}
-	return mean, variance
 }
 
 // PredictWeights returns the basis-weight means and variances at a

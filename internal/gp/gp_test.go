@@ -110,22 +110,31 @@ func TestGPHandlesConstantOutput(t *testing.T) {
 
 func TestCorrProperties(t *testing.T) {
 	rho := []float64{0.5, 0.8}
+	lr := logRhoOf(rho)
 	a := []float64{0.3, 0.7}
-	if c := corr(a, a, rho); c != 1 {
+	if c := corr(a, a, lr); c != 1 {
 		t.Fatalf("self correlation %v want 1", c)
 	}
 	b := []float64{0.9, 0.1}
-	cab := corr(a, b, rho)
+	cab := corr(a, b, lr)
 	if cab <= 0 || cab >= 1 {
 		t.Fatalf("cross correlation %v outside (0,1)", cab)
 	}
-	if corr(b, a, rho) != cab {
+	if corr(b, a, lr) != cab {
 		t.Fatal("correlation not symmetric")
 	}
 	// Smaller rho → faster decay.
-	rho2 := []float64{0.1, 0.1}
-	if corr(a, b, rho2) >= cab {
+	if corr(a, b, logRhoOf([]float64{0.1, 0.1})) >= cab {
 		t.Fatal("smaller rho should decay faster")
+	}
+	// The log-exp fast path agrees with the paper's ∏ ρ^{4d²} form.
+	direct := 1.0
+	for k := range a {
+		d := a[k] - b[k]
+		direct *= math.Pow(rho[k], 4*d*d)
+	}
+	if math.Abs(cab-direct) > 1e-12*direct {
+		t.Fatalf("fast-path corr %v vs direct %v", cab, direct)
 	}
 }
 

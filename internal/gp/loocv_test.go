@@ -55,8 +55,9 @@ func refitPredict(t *testing.T, x [][]float64, w []float64, rho []float64, nugge
 	}
 	alpha := linalg.SolveCholesky(l, w)
 	r := make([]float64, len(x))
+	lr := logRhoOf(rho)
 	for i := range x {
-		r[i] = corr(theta, x[i], rho)
+		r[i] = corr(theta, x[i], lr)
 	}
 	s := 0.0
 	for i := range r {

@@ -59,8 +59,11 @@ func Maximin(r *stats.RNG, n int, ranges []Range, k int) ([][]float64, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The first candidate is always taken: minPairDist's no-pair
+		// sentinel is -1.0, which `s > bestScore` would never beat for
+		// n == 1 designs, returning a nil design.
 		s := minPairDist(d, ranges)
-		if s > bestScore {
+		if best == nil || s > bestScore {
 			best, bestScore = d, s
 		}
 	}

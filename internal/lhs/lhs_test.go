@@ -140,6 +140,28 @@ func TestMaximinAtLeastAsSpread(t *testing.T) {
 	}
 }
 
+// Regression: for n == 1 the maximin score of every candidate is the
+// no-pair sentinel (-1.0), which the old `s > bestScore` comparison never
+// beat — Maximin returned a nil design with a nil error.
+func TestMaximinSinglePointDesign(t *testing.T) {
+	r := stats.NewRNG(11)
+	ranges := []Range{{Lo: 0, Hi: 1}, {Lo: -2, Hi: 2}}
+	for _, k := range []int{1, 5} {
+		d, err := Maximin(r, 1, ranges, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d) != 1 || len(d[0]) != 2 {
+			t.Fatalf("k=%d: n=1 maximin design %v; want one 2-d point", k, d)
+		}
+		for c, rg := range ranges {
+			if d[0][c] < rg.Lo || d[0][c] > rg.Hi {
+				t.Fatalf("point outside range: %v", d[0])
+			}
+		}
+	}
+}
+
 func TestMaximinZeroCandidates(t *testing.T) {
 	r := stats.NewRNG(6)
 	d, err := Maximin(r, 5, []Range{{Lo: 0, Hi: 1}}, 0)

@@ -183,15 +183,29 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d", a.Rows, a.Cols)
 	}
+	l := NewMatrix(a.Rows, a.Rows)
+	if err := CholeskyInto(a, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// CholeskyInto factors A into the caller-provided lower-triangular L (same
+// shape, must not alias A). Only L's lower triangle including the diagonal
+// is written; stale upper-triangle entries of a reused L are ignored by the
+// triangular solves and LogDetCholesky.
+func CholeskyInto(a, l *Matrix) error {
 	n := a.Rows
-	l := NewMatrix(n, n)
+	if a.Cols != n || l.Rows != n || l.Cols != n {
+		return fmt.Errorf("linalg: cholesky shape mismatch %dx%d into %dx%d", a.Rows, a.Cols, l.Rows, l.Cols)
+	}
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
 		for k := 0; k < j; k++ {
 			d -= l.At(j, k) * l.At(j, k)
 		}
 		if d <= 0 {
-			return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
+			return fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
 		}
 		dj := math.Sqrt(d)
 		l.Set(j, j, dj)
@@ -203,7 +217,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 			l.Set(i, j, s/dj)
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // SolveCholesky solves A x = b given the lower Cholesky factor L of A.
@@ -214,28 +228,41 @@ func SolveCholesky(l *Matrix, b []float64) []float64 {
 
 // ForwardSolve solves L y = b for lower-triangular L.
 func ForwardSolve(l *Matrix, b []float64) []float64 {
+	y := make([]float64, l.Rows)
+	ForwardSolveInto(l, b, y)
+	return y
+}
+
+// ForwardSolveInto solves L y = b into caller-provided y (b and y may
+// alias), for hot loops that cannot afford per-solve allocations.
+func ForwardSolveInto(l *Matrix, b, y []float64) {
 	n := l.Rows
-	if len(b) != n {
+	if len(b) != n || len(y) != n {
 		panic("linalg: forward solve length mismatch")
 	}
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
+		row := l.Data[i*l.Cols : i*l.Cols+i]
+		for k, v := range row {
+			s -= v * y[k]
 		}
 		y[i] = s / l.At(i, i)
 	}
-	return y
 }
 
 // BackSolveT solves Lᵀ x = y for lower-triangular L.
 func BackSolveT(l *Matrix, y []float64) []float64 {
+	x := make([]float64, l.Rows)
+	BackSolveTInto(l, y, x)
+	return x
+}
+
+// BackSolveTInto solves Lᵀ x = y into caller-provided x (x and y may alias).
+func BackSolveTInto(l *Matrix, y, x []float64) {
 	n := l.Rows
-	if len(y) != n {
+	if len(y) != n || len(x) != n {
 		panic("linalg: back solve length mismatch")
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
@@ -243,7 +270,6 @@ func BackSolveT(l *Matrix, y []float64) []float64 {
 		}
 		x[i] = s / l.At(i, i)
 	}
-	return x
 }
 
 // LogDetCholesky returns log det A given the lower Cholesky factor of A.

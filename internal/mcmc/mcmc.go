@@ -82,6 +82,12 @@ func Metropolis(target LogTarget, cfg Config) (*Result, error) {
 	}
 	cur := append([]float64(nil), cfg.Init...)
 	curLP := target(cur)
+	// A NaN initial log-posterior would make the accept test permanently
+	// false (NaN comparisons are false, exp(NaN) is NaN), silently running
+	// a chain stuck at Init. Error out instead.
+	if math.IsNaN(curLP) {
+		return nil, fmt.Errorf("mcmc: target is NaN at the initial point %v", cur)
+	}
 	res := &Result{Best: append([]float64(nil), cur...), BestLogP: curLP}
 	prop := make([]float64, d)
 	accepted, proposed := 0, 0
@@ -90,27 +96,18 @@ func Metropolis(target LogTarget, cfg Config) (*Result, error) {
 	total := cfg.BurnIn + cfg.Steps
 	for step := 0; step < total; step++ {
 		for k := 0; k < d; k++ {
-			x := cur[k] + r.Norm()*scale[k]
-			// Reflect into the box.
-			lo, hi := cfg.Lo[k], cfg.Hi[k]
-			span := hi - lo
-			if span > 0 {
-				for x < lo || x > hi {
-					if x < lo {
-						x = 2*lo - x
-					}
-					if x > hi {
-						x = 2*hi - x
-					}
-				}
-			} else {
-				x = lo
-			}
-			prop[k] = x
+			prop[k] = reflect(cur[k]+r.Norm()*scale[k], cur[k], cfg.Lo[k], cfg.Hi[k])
 		}
 		lp := target(prop)
 		proposed++
-		if lp >= curLP || r.Float64() < math.Exp(lp-curLP) {
+		// A NaN proposal log-posterior is an explicit rejection (never a
+		// new state): accepting it would poison curLP and wedge the chain
+		// the same way a NaN init does.
+		accept := false
+		if !math.IsNaN(lp) {
+			accept = lp >= curLP || r.Float64() < math.Exp(lp-curLP)
+		}
+		if accept {
 			copy(cur, prop)
 			curLP = lp
 			accepted++
@@ -142,6 +139,41 @@ func Metropolis(target LogTarget, cfg Config) (*Result, error) {
 	}
 	res.AcceptRate = float64(accepted) / float64(proposed)
 	return res, nil
+}
+
+// maxReflections bounds the boundary-reflection loop. A finite draw that is
+// k·span outside the box needs ~k reflections; anything needing more than
+// this is a pathological proposal scale and is clamped to the bound instead.
+const maxReflections = 64
+
+// reflect folds a proposal coordinate into [lo, hi] by reflecting at the
+// bounds. Non-finite draws are handled explicitly: ±Inf would oscillate
+// between 2·lo−x and 2·hi−x forever (2·lo−(+Inf) = −Inf, 2·hi−(−Inf) = +Inf),
+// so infinities clamp to the nearest bound and a NaN draw (e.g. 0·Inf from a
+// degenerate scale) keeps the current value.
+func reflect(x, cur, lo, hi float64) float64 {
+	span := hi - lo
+	if span <= 0 {
+		return lo
+	}
+	if math.IsNaN(x) {
+		return cur
+	}
+	for iter := 0; x < lo || x > hi; iter++ {
+		if math.IsInf(x, 0) || iter >= maxReflections {
+			if x < lo {
+				return lo
+			}
+			return hi
+		}
+		if x < lo {
+			x = 2*lo - x
+		}
+		if x > hi {
+			x = 2*hi - x
+		}
+	}
+	return x
 }
 
 // ColumnMean returns the mean of one coordinate across samples.

@@ -1,8 +1,10 @@
 package mcmc
 
 import (
+	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -171,6 +173,114 @@ func TestESS(t *testing.T) {
 	}
 	if ESS(nil, 0) != 0 {
 		t.Fatal("empty ESS should be 0")
+	}
+}
+
+// Regression: a NaN log-posterior at Init used to run a silently stuck
+// chain (every accept test false against NaN); it must be an error now.
+func TestNaNAtInitIsAnError(t *testing.T) {
+	nanAtInit := func(th []float64) float64 {
+		if th[0] == 0.5 && th[1] == 0.5 {
+			return math.NaN()
+		}
+		return gaussTarget(th)
+	}
+	_, err := Metropolis(nanAtInit, Config{
+		Init: []float64{0.5, 0.5},
+		Lo:   []float64{0, 0}, Hi: []float64{1, 1},
+		Steps: 100, BurnIn: 10, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("NaN initial log-posterior accepted; chain would be permanently stuck")
+	}
+}
+
+// Regression: NaN proposals must be rejected, not wedge the chain. A target
+// with a NaN pocket still explores the rest of the box.
+func TestNaNProposalsAreRejected(t *testing.T) {
+	nanPocket := func(th []float64) float64 {
+		if th[0] > 0.8 {
+			return math.NaN()
+		}
+		return gaussTarget(th)
+	}
+	res, err := Metropolis(nanPocket, Config{
+		Init: []float64{0.5, 0.5},
+		Lo:   []float64{0, 0}, Hi: []float64{1, 1},
+		Steps: 2000, BurnIn: 200, Seed: 2, StepFrac: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptRate == 0 {
+		t.Fatal("chain never moved around a NaN pocket")
+	}
+	for _, s := range res.Samples {
+		if s[0] > 0.8 {
+			t.Fatalf("NaN-region sample retained: %v", s)
+		}
+		if math.IsNaN(s[0]) || math.IsNaN(s[1]) {
+			t.Fatalf("NaN sample retained: %v", s)
+		}
+	}
+	for _, lp := range res.LogPosts {
+		if math.IsNaN(lp) {
+			t.Fatal("NaN log-posterior retained")
+		}
+	}
+}
+
+// Regression: with bounds wide enough that hi-lo overflows to +Inf, the
+// proposal scale is +Inf and draws are ±Inf (or NaN). The reflection loop
+// used to oscillate 2·lo−x / 2·hi−x forever; it must now clamp and return.
+func TestReflectionTerminatesOnNonFiniteProposals(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		res, err := Metropolis(func(th []float64) float64 {
+			d := th[0] / 1e300
+			return -d * d // finite for any in-box value
+		}, Config{
+			Init: []float64{0},
+			Lo:   []float64{-1e308}, Hi: []float64{1e308},
+			Steps: 200, BurnIn: 20, Seed: 3,
+		})
+		if err == nil {
+			for _, s := range res.Samples {
+				if s[0] < -1e308 || s[0] > 1e308 || math.IsNaN(s[0]) {
+					err = fmt.Errorf("sample escaped box: %v", s[0])
+					break
+				}
+			}
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Metropolis hung in the reflection loop on a non-finite proposal")
+	}
+}
+
+func TestReflectHelper(t *testing.T) {
+	cases := []struct {
+		x, cur, lo, hi, want float64
+	}{
+		{0.5, 0.2, 0, 1, 0.5},        // in box: untouched
+		{-0.25, 0.2, 0, 1, 0.25},     // one reflection at lo
+		{1.25, 0.2, 0, 1, 0.75},      // one reflection at hi
+		{math.Inf(1), 0.2, 0, 1, 1},  // +Inf clamps to hi
+		{math.Inf(-1), 0.2, 0, 1, 0}, // -Inf clamps to lo
+		{math.NaN(), 0.2, 0, 1, 0.2}, // NaN keeps the current value
+		{123, 0.5, 2, 2, 2},          // degenerate span pins to lo
+		{1e300, 0.2, 0, 1, 0},        // reflection budget exceeded: clamp
+	}
+	for _, c := range cases {
+		if got := reflect(c.x, c.cur, c.lo, c.hi); got != c.want {
+			t.Errorf("reflect(%g, %g, %g, %g) = %g want %g", c.x, c.cur, c.lo, c.hi, got, c.want)
+		}
 	}
 }
 
