@@ -10,8 +10,9 @@ GO ?= go
 
 tier1:
 	$(GO) build ./...
+	$(GO) vet ./internal/obs
 	$(GO) test ./...
-	$(GO) test -race ./internal/mcmc ./internal/calib
+	$(GO) test -race ./internal/mcmc ./internal/calib ./internal/obs
 
 race:
 	$(GO) test -race ./...
@@ -27,16 +28,20 @@ fmt-check:
 	fi
 
 # Machine-readable record of the performance benchmarks: the Fig 7
-# runtime-vs-size sweep, the steady-state transmission-kernel pass, and the
+# runtime-vs-size sweep, the steady-state transmission-kernel pass, the
 # calibration stack (dense vs Woodbury likelihood, serial vs multi-chain
-# Sample at a fixed draw budget), with -benchmem so the zero-allocation
-# claims are part of the artifact. CI uploads the file as a non-gating
-# artifact; it is not committed.
-BENCH_JSON ?= BENCH_PR4.json
+# Sample at a fixed draw budget), and the observability overhead pair
+# (replicate fan-out with tracing off vs on — budget ≤3% — plus the obs
+# primitive costs), with -benchmem so the zero-allocation claims are part
+# of the artifact. CI uploads the file as a non-gating artifact; it is not
+# committed.
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7TopRuntimeVsSize$$' -benchmem . > bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTransmissionPhase$$' -benchmem ./internal/epihiper >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkLogLik|BenchmarkSample' -benchmem ./internal/calib >> bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkReplicatesObs' -benchmem ./internal/epihiper >> bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkSpanStartEnd|BenchmarkWritePrometheus' -benchmem ./internal/obs >> bench_raw.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench_raw.txt
 	@rm -f bench_raw.txt
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcmc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -31,13 +33,21 @@ func main() {
 	rhatMax := flag.Float64("rhat-max", 0, "fail if any split-R̂ exceeds this (0: advisory only)")
 	minESS := flag.Float64("min-ess", 0, "fail if any pooled ESS is below this (0: advisory only)")
 	out := flag.String("out", "", "posterior CSV path (omit for stdout summary only)")
+	metricsDump := flag.String("metrics-dump", "", `dump Prometheus text metrics to FILE at the end of the run ("-" = stdout)`)
 	flag.Parse()
 
 	p := core.NewPipeline(*seed, core.WithScale(*scale))
 	fmt.Printf("calibration workflow: %s, %d cells, %d days, scale 1:%d\n",
 		*state, *cells, *days, *scale)
 
-	res, err := p.RunCalibrationWorkflow(core.CalibrationConfig{
+	// Span durations (workflow.calibration, sim, calibrate, mcmc.chain, …)
+	// land in epi_span_seconds next to the pipeline's transfer and fault
+	// series; -metrics-dump writes all of it after the run.
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(nil, obs.WithSpanMetrics(reg)))
+
+	res, err := p.RunCalibrationWorkflowCtx(ctx, core.CalibrationConfig{
 		State: *state, Cells: *cells, Days: *days, Steps: *steps,
 		Chains: *chains, RHatMax: *rhatMax, MinESS: *minESS,
 	})
@@ -108,6 +118,20 @@ func main() {
 			fmt.Fprintf(f, "%g,%g,%g,%g\n", pr.TAU, pr.SYMP, pr.SHCompliance, pr.VHICompliance)
 		}
 		fmt.Printf("wrote %d posterior configurations to %s\n", len(res.Posterior), *out)
+	}
+	if *metricsDump != "" {
+		w := os.Stdout
+		if *metricsDump != "-" {
+			f, err := os.Create(*metricsDump)
+			if err != nil {
+				log.Fatalf("-metrics-dump: %v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Fatalf("-metrics-dump: %v", err)
+		}
 	}
 	if convErr != nil {
 		os.Exit(1) // a requested convergence gate failed

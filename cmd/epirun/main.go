@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disease"
 	"repro/internal/epihiper"
+	"repro/internal/obs"
 	"repro/internal/output"
 	"repro/internal/synthpop"
 	"repro/internal/transfer"
@@ -41,6 +42,7 @@ func main() {
 	configPath := flag.String("config", "", "JSON simulation configuration (overrides the individual flags; see internal/epihiper JSONConfig)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+	metricsDump := flag.String("metrics-dump", "", `dump Prometheus text metrics to FILE at the end of the run ("-" = stdout)`)
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -192,5 +194,33 @@ func main() {
 		}
 		g.Close()
 		fmt.Printf("  wrote %s and %s\n", rawPath, sumPath)
+	}
+
+	if *metricsDump != "" {
+		reg := obs.NewRegistry()
+		reg.Help("epi_run_seconds", "wall-clock of the simulation run")
+		reg.Gauge("epi_run_seconds").Set(elapsed.Seconds())
+		reg.Help("epi_run_days", "simulated horizon in days")
+		reg.Gauge("epi_run_days").Set(float64(*days))
+		reg.Help("epi_run_infections_total", "total infections over the run")
+		reg.Counter("epi_run_infections_total").Add(res.TotalInfections)
+		reg.Help("epi_run_transitions_total", "state transitions logged")
+		reg.Counter("epi_run_transitions_total").Add(int64(len(logRec.Entries)))
+		reg.Help("epi_run_raw_bytes", "raw transition log size at this scale")
+		reg.Gauge("epi_run_raw_bytes").Set(float64(logRec.RawBytes()))
+		reg.Help("epi_run_peak_memory_bytes", "modeled peak memory of the run")
+		reg.Gauge("epi_run_peak_memory_bytes").Set(float64(res.PeakMemoryBytes))
+		w := os.Stdout
+		if *metricsDump != "-" {
+			f, err := os.Create(*metricsDump)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -13,7 +13,13 @@
 //	curl -s -X POST localhost:8080/scenarios -d '{"workflow":"prediction","state":"VA","days":60}'
 //	curl -s localhost:8080/scenarios/<id>
 //	curl -s localhost:8080/scenarios/<id>/result
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/metrics          # Prometheus text (unified registry)
+//	curl -s localhost:8080/metrics.json     # legacy JSON snapshot
+//
+// /metrics serves the unified registry: service counters (submissions,
+// queue, cache, per-workflow latency histograms) plus the shared pipeline's
+// transfer-ledger and fault counters. -pprof additionally mounts
+// net/http/pprof under /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
 // and in-flight jobs drain (bounded by -drain-timeout), then the process
@@ -26,12 +32,14 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -44,13 +52,28 @@ func main() {
 	seed := flag.Uint64("seed", 2020, "pipeline random seed")
 	parallelism := flag.Int("parallelism", 2, "per-simulation processing units")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	p := core.NewPipeline(*seed, core.WithScale(*scale), core.WithParallelism(*parallelism))
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
 	svc := scenario.NewService(scenario.Config{
 		Pipeline: p, Workers: *workers, QueueCap: *queueCap, CacheCap: *cacheCap,
+		Registry: reg,
 	})
-	srv := &http.Server{Addr: *addr, Handler: scenario.NewServer(svc)}
+	var handler http.Handler = scenario.NewServer(svc)
+	if *enablePprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -9,16 +9,26 @@
 //	nightly -workflow prediction
 //	nightly -workflow all -nights 3
 //	nightly -workflow prediction -fault-rate 0.05 -max-retries 3
+//
+// Observability: -journal FILE writes a JSONL run journal (one entry per
+// closed span and per event: tasks placed/retried/shed, faults injected,
+// transfer bytes), -trace-summary prints a per-phase wall-clock breakdown
+// and the per-night utilization against the scheduling lower bound, and
+// -metrics-dump FILE writes the unified metric registry in Prometheus text
+// exposition at the end of the run ("-" for stdout).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/transfer"
 )
 
@@ -32,6 +42,9 @@ func main() {
 		"per-attempt task crash probability; DB refusals and transfer stalls run at half this rate (0 = failure-free)")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed of the deterministic fault model")
 	maxRetries := flag.Int("max-retries", 3, "per-task requeue budget under faults (negative = shed on first failure)")
+	journalPath := flag.String("journal", "", "write a JSONL run journal (span closes + events) to FILE")
+	traceSummary := flag.Bool("trace-summary", false, "print per-phase wall-clock breakdown and utilization vs the scheduling bound")
+	metricsDump := flag.String("metrics-dump", "", `dump Prometheus text metrics to FILE at the end of the run ("-" = stdout)`)
 	flag.Parse()
 
 	if *faultRate < 0 || *faultRate > 1 {
@@ -49,6 +62,29 @@ func main() {
 	recovery := core.RecoveryPolicy{MaxRetries: *maxRetries}
 
 	p := core.NewPipeline(*seed)
+
+	// Observability plumbing: a collector keeps the span/event stream in
+	// memory for -trace-summary and tees it to the JSONL journal when
+	// -journal is set; span durations feed epi_span_seconds on the registry.
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	p.RegisterMetrics(reg)
+	var collector *obs.Collector
+	var journal *obs.Journal
+	if *journalPath != "" || *traceSummary || *metricsDump != "" {
+		var sink obs.Sink
+		if *journalPath != "" {
+			f, err := os.Create(*journalPath)
+			if err != nil {
+				log.Fatalf("-journal: %v", err)
+			}
+			defer f.Close()
+			journal = obs.NewJournal(f)
+			sink = journal
+		}
+		collector = obs.NewCollector(sink)
+		ctx = obs.WithTracer(ctx, obs.NewTracer(collector, obs.WithSpanMetrics(reg)))
+	}
 	specs := core.TableI()
 	want := strings.ToLower(*workflow)
 
@@ -73,13 +109,13 @@ func main() {
 		var reports []*core.NightReport
 		if *carryover {
 			var err error
-			reports, err = p.RunNights(spec, *heuristic, *nights, *seed)
+			reports, err = p.RunNightsCtx(ctx, spec, *heuristic, *nights, *seed)
 			if err != nil {
 				fmt.Printf("  WARNING: %v\n", err)
 			}
 		} else {
 			for n := 0; n < *nights; n++ {
-				rep, err := p.RunNight(core.NightConfig{
+				rep, err := p.RunNightCtx(ctx, core.NightConfig{
 					Spec: spec, Heuristic: *heuristic,
 					Seed: *seed + uint64(n), Day: day,
 					Faults: faultSpec, Recovery: recovery,
@@ -98,6 +134,11 @@ func main() {
 			}
 			fmt.Printf("  night %d: %d tasks, makespan %.1fh, utilization %.1f%%, %s\n",
 				n+1, rep.Tasks, rep.Makespan/3600, 100*rep.Utilization, status)
+			if *traceSummary && rep.MakespanLB > 0 {
+				fmt.Printf("           bound: makespan ≥ %.1fh ⇒ utilization ≤ %.1f%% (achieved %.1f%% of bound)\n",
+					rep.MakespanLB/3600, 100*rep.UtilizationBound,
+					100*rep.Utilization/rep.UtilizationBound)
+			}
 			fmt.Printf("           configs out %s, summaries back %s, raw kept remote %s\n",
 				transfer.HumanBytes(rep.ConfigBytes),
 				transfer.HumanBytes(rep.SummaryBytes),
@@ -132,5 +173,41 @@ func main() {
 	fmt.Printf("  modeled transfer time: %.1f min\n", p.Ledger.TotalSeconds()/60)
 	for _, lb := range p.Ledger.ByLabel() {
 		fmt.Printf("    %-24s %s\n", lb.Label, transfer.HumanBytes(lb.Bytes))
+	}
+
+	if *traceSummary && collector != nil {
+		entries := collector.Entries()
+		fmt.Println()
+		fmt.Println("=== trace summary (wall-clock by phase) ===")
+		for _, ps := range obs.Summarize(entries) {
+			fmt.Printf("  %-24s %6d spans  %12.4f s\n", ps.Name, ps.Count, ps.Seconds)
+		}
+		if events := obs.EventCounts(entries); len(events) > 0 {
+			fmt.Println("  events:")
+			for _, ev := range events {
+				fmt.Printf("    %-24s %6d\n", ev.Name, ev.Count)
+			}
+		}
+	}
+	if journal != nil {
+		if err := journal.Err(); err != nil {
+			log.Printf("journal: %v", err)
+		} else {
+			fmt.Printf("\nrun journal written to %s\n", *journalPath)
+		}
+	}
+	if *metricsDump != "" {
+		out := os.Stdout
+		if *metricsDump != "-" {
+			f, err := os.Create(*metricsDump)
+			if err != nil {
+				log.Fatalf("-metrics-dump: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := reg.WritePrometheus(out); err != nil {
+			log.Fatalf("-metrics-dump: %v", err)
+		}
 	}
 }

@@ -17,6 +17,7 @@
 package calib
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/lhs"
 	"repro/internal/linalg"
 	"repro/internal/mcmc"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -306,6 +308,16 @@ type Posterior struct {
 // returned — diagnostics filled in — together with the
 // *mcmc.ConvergenceError describing the failure.
 func (c *Calibrator) Sample(cfg Config, count int) (*Posterior, error) {
+	return c.SampleCtx(context.Background(), cfg, count)
+}
+
+// SampleCtx is Sample under a "calibrate" span, with the multi-chain run
+// traced through mcmc.RunChainsCtx (per-chain spans plus the
+// "calibration.gate" event). Sampling itself is untouched by tracing, so
+// the posterior is bit-identical with or without a tracer on ctx.
+func (c *Calibrator) SampleCtx(ctx context.Context, cfg Config, count int) (*Posterior, error) {
+	ctx, sp := obs.StartSpan(ctx, "calibrate")
+	defer sp.End()
 	d := len(c.Design.Ranges)
 	obsScale := stats.StdDev(c.Obs)
 	if obsScale == 0 {
@@ -365,7 +377,7 @@ func (c *Calibrator) Sample(cfg Config, count int) (*Posterior, error) {
 			return ll + gammaLogPrior(sdDelta, sdDeltaMax/4) + gammaLogPrior(sdEps, sdEpsMax/4)
 		}
 	}
-	res, runErr := mcmc.RunChains(newTarget, mcmc.MultiConfig{
+	res, runErr := mcmc.RunChainsCtx(ctx, newTarget, mcmc.MultiConfig{
 		Config: mcmc.Config{
 			Init: init, Lo: lo, Hi: hi,
 			Steps: steps, BurnIn: burn, Thin: 1,

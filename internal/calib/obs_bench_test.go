@@ -1,0 +1,40 @@
+package calib
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	obspkg "repro/internal/obs"
+)
+
+// benchSampleCtx runs the multi-chain sampler with the given context so the
+// ObsOn/ObsOff pair prices the tracing overhead on the calibration stack
+// (the logLik-dominated hot loop; budget ≤3%).
+func benchSampleCtx(b *testing.B, ctx context.Context) {
+	c := benchCalibrator(b)
+	cfg := Config{Steps: 300, BurnIn: 150, Seed: 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post, err := c.SampleCtx(ctx, cfg, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = post.AcceptRate
+	}
+}
+
+func BenchmarkSampleObsOff(b *testing.B) {
+	benchSampleCtx(b, context.Background())
+}
+
+type discardSink struct{}
+
+func (discardSink) Emit(obspkg.Entry) {}
+
+func BenchmarkSampleObsOn(b *testing.B) {
+	tr := obspkg.NewTracer(discardSink{},
+		obspkg.WithClock(obspkg.FixedClock(time.Unix(0, 0), time.Microsecond)),
+		obspkg.WithSpanMetrics(obspkg.NewRegistry()))
+	benchSampleCtx(b, obspkg.WithTracer(context.Background(), tr))
+}

@@ -10,9 +10,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -154,6 +156,31 @@ type ExecOptions struct {
 	StartAt float64
 	// Injector, when non-nil, is consulted as each task starts.
 	Injector Injector
+	// Ctx carries the tracer for executor spans; nil means untraced.
+	Ctx context.Context
+}
+
+// execCtx returns the options' context, defaulting to Background.
+func (o ExecOptions) execCtx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// endExecSpan annotates and closes an executor span with the run's shape.
+func endExecSpan(sp *obs.Span, tasks int, res *ExecResult) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr(
+		obs.Int("tasks", int64(tasks)),
+		obs.Int("completed", int64(len(res.Records))),
+		obs.Int("failed", int64(len(res.Failed))),
+		obs.Int("unstarted", int64(len(res.Unstarted))),
+		obs.Float("makespan", res.Makespan),
+	)
+	sp.End()
 }
 
 // MeanWait returns the average task start time — the queueing delay a
@@ -195,6 +222,8 @@ func ExecuteLevelSync(s *sched.Schedule, deadline float64) ExecResult {
 // as wasted rather than busy, and the failure is recorded for requeueing.
 func ExecuteLevelSyncOpts(s *sched.Schedule, opt ExecOptions) ExecResult {
 	var res ExecResult
+	_, sp := obs.StartSpan(opt.execCtx(), "cluster.levelsync")
+	defer func() { endExecSpan(sp, len(FlattenSchedule(s)), &res) }()
 	start := opt.StartAt
 	busy := 0.0
 	for _, l := range s.Levels {
@@ -265,6 +294,8 @@ func ExecuteBackfillOpts(tasks []sched.Task, c sched.Constraints, opt ExecOption
 		task sched.Task
 	}
 	var res ExecResult
+	_, sp := obs.StartSpan(opt.execCtx(), "cluster.backfill")
+	defer func() { endExecSpan(sp, len(tasks), &res) }()
 	queue := append([]sched.Task(nil), tasks...)
 	pending := make([]bool, len(queue))
 	for i := range pending {

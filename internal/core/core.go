@@ -19,6 +19,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/disease"
+	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/popdb"
 	"repro/internal/surveillance"
 	"repro/internal/synthpop"
@@ -40,6 +42,10 @@ type Pipeline struct {
 	Remote cluster.Spec
 	Window cluster.Window
 	Ledger *transfer.Ledger
+	// FaultCounters accumulates injected/recovered/shed counts across every
+	// night run on this pipeline; fault models built by ExecuteNightCtx
+	// report into it.
+	FaultCounters *faults.Counters
 
 	mu       sync.Mutex
 	networks map[string]*synthpop.Network
@@ -63,22 +69,32 @@ func WithDBConnBound(b int) Option { return func(p *Pipeline) { p.DBConnBound = 
 // Rivanna-like home cluster, Bridges-like remote cluster, 10pm–8am window.
 func NewPipeline(seed uint64, opts ...Option) *Pipeline {
 	p := &Pipeline{
-		Scale:       20000,
-		Seed:        seed,
-		Parallelism: 2,
-		DBConnBound: 16,
-		Home:        cluster.Rivanna(),
-		Remote:      cluster.Bridges(),
-		Window:      cluster.NightlyWindow(),
-		Ledger:      transfer.NewLedger(transfer.DefaultLink()),
-		networks:    map[string]*synthpop.Network{},
-		dbs:         map[string]*popdb.Server{},
-		truth:       map[string]*surveillance.StateTruth{},
+		Scale:         20000,
+		Seed:          seed,
+		Parallelism:   2,
+		DBConnBound:   16,
+		Home:          cluster.Rivanna(),
+		Remote:        cluster.Bridges(),
+		Window:        cluster.NightlyWindow(),
+		Ledger:        transfer.NewLedger(transfer.DefaultLink()),
+		FaultCounters: &faults.Counters{},
+		networks:      map[string]*synthpop.Network{},
+		dbs:           map[string]*popdb.Server{},
+		truth:         map[string]*surveillance.StateTruth{},
 	}
 	for _, o := range opts {
 		o(p)
 	}
+	p.Ledger.WindowSeconds = p.Window.Seconds()
 	return p
+}
+
+// RegisterMetrics exposes the pipeline's transfer ledger and fault counters
+// on a registry — the one call a binary needs to put the epi_transfer_* and
+// epi_faults_* series on its /metrics endpoint or end-of-run dump.
+func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
+	transfer.RegisterMetrics(reg, p.Ledger)
+	p.FaultCounters.Register(reg)
 }
 
 // Network returns the cached contact network for a region, generating it on

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/transfer"
@@ -97,6 +98,14 @@ type NightReport struct {
 	Tasks       int
 	Makespan    float64
 	Utilization float64
+	// MakespanLB is the FFDT-DC packing's lower bound (max of the area and
+	// longest-task bounds from internal/sched) for the night's workload;
+	// UtilizationBound is the best utilization any schedule could reach
+	// inside the achieved makespan-lower-bound, i.e. busy-work area over
+	// (MakespanLB × nodes). Achieved Utilization ≤ UtilizationBound, and the
+	// -trace-summary report prints the two side by side.
+	MakespanLB       float64
+	UtilizationBound float64
 	// FitsWindow reports whether everything completed inside 10 hours
 	// with nothing shed.
 	FitsWindow bool
@@ -114,6 +123,9 @@ type NightReport struct {
 	// Retries counts requeue events; Rounds counts scheduling passes.
 	Retries int
 	Rounds  int
+	// Recovered counts tasks that completed after at least one failed
+	// attempt — the requeue machinery's successes.
+	Recovered int
 	// Shed lists exactly the work dropped when the window could not
 	// absorb the retries, lowest priority first. ShedRetryExhausted and
 	// ShedWindow split the count by cause.
@@ -156,6 +168,11 @@ func (p *Pipeline) ExecuteNightCtx(ctx context.Context, cfg NightConfig) (*Night
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, cluster.ExecResult{}, err
 	}
+	ctx, night := obs.StartSpan(ctx, "night",
+		obs.String("workflow", cfg.Spec.Kind.String()),
+		obs.String("heuristic", cfg.Heuristic),
+		obs.Int("day", int64(cfg.Day)))
+	defer night.End()
 	// Counter-factual and prediction designs sweep intervention
 	// complexity (up to the ≈4× D2CT factor of Figure 7); calibration
 	// cells sweep disease parameters on a fixed mitigation schedule, so
@@ -170,15 +187,27 @@ func (p *Pipeline) ExecuteNightCtx(ctx context.Context, cfg NightConfig) (*Night
 		Time:                  sched.DefaultTimeModel(),
 		MaxInterventionFactor: ivSpread,
 	}
+	_, part := obs.StartSpan(ctx, "partition")
 	tasks := w.Tasks(stats.NewRNG(cfg.Seed))
+	part.SetAttr(obs.Int("tasks", int64(len(tasks))))
+	part.End()
 	constraints := sched.Constraints{
 		TotalNodes: p.Remote.Nodes,
 		DBBound:    sched.DefaultDBBounds(p.DBConnBound),
 	}
 	deadline := p.Window.Seconds()
 	report := &NightReport{Config: cfg, Tasks: len(tasks)}
+	report.MakespanLB = sched.MakespanLowerBound(tasks, constraints.TotalNodes)
+	if report.MakespanLB > 0 && constraints.TotalNodes > 0 {
+		area := 0.0
+		for _, t := range tasks {
+			area += t.Time * float64(t.Nodes)
+		}
+		report.UtilizationBound = area / (report.MakespanLB * float64(constraints.TotalNodes))
+	}
 
 	fm := faults.New(cfg.Faults)
+	fm.SetCounters(p.FaultCounters)
 	exec, err := p.runNightRounds(ctx, cfg, fm, tasks, constraints, deadline, report)
 	if err != nil {
 		return nil, cluster.ExecResult{}, err
@@ -197,12 +226,22 @@ func (p *Pipeline) ExecuteNightCtx(ctx context.Context, cfg NightConfig) (*Night
 	report.ConfigBytes = int64(len(tasks)) * 580 * transfer.KB
 	report.SummaryBytes = completed * cfg.Spec.SummaryBytesPerSim
 	report.RawBytes = completed * cfg.Spec.RawBytesPerSim
-	if err := p.moveWithRecovery(cfg, fm, report, transfer.HomeToRemote, "night-configs", report.ConfigBytes); err != nil {
+	if err := p.moveWithRecovery(ctx, cfg, fm, report, transfer.HomeToRemote, "night-configs", report.ConfigBytes); err != nil {
 		return nil, cluster.ExecResult{}, err
 	}
-	if err := p.moveWithRecovery(cfg, fm, report, transfer.RemoteToHome, "night-summaries", report.SummaryBytes); err != nil {
+	if err := p.moveWithRecovery(ctx, cfg, fm, report, transfer.RemoteToHome, "night-summaries", report.SummaryBytes); err != nil {
 		return nil, cluster.ExecResult{}, err
 	}
+	night.SetAttr(
+		obs.Int("tasks", int64(report.Tasks)),
+		obs.Int("completed", int64(report.Completed)),
+		obs.Int("rounds", int64(report.Rounds)),
+		obs.Int("shed", int64(len(report.Shed))),
+		obs.Float("makespan", report.Makespan),
+		obs.Float("utilization", report.Utilization),
+		obs.Float("makespan_lb", report.MakespanLB),
+		obs.Float("utilization_bound", report.UtilizationBound),
+	)
 	return report, exec, nil
 }
 
@@ -210,14 +249,14 @@ func (p *Pipeline) ExecuteNightCtx(ctx context.Context, cfg NightConfig) (*Night
 // transfer retries stalled attempts with jittered backoff and the retry
 // count lands in the report. A transfer that stalls through the whole
 // retry budget fails the night — the morning's products cannot ship.
-func (p *Pipeline) moveWithRecovery(cfg NightConfig, fm *faults.Model, report *NightReport,
+func (p *Pipeline) moveWithRecovery(ctx context.Context, cfg NightConfig, fm *faults.Model, report *NightReport,
 	dir transfer.Direction, label string, bytes int64) error {
 	if fm == nil {
-		_, err := p.Ledger.Move(cfg.Day, dir, label, bytes)
+		_, err := p.Ledger.MoveCtx(ctx, cfg.Day, dir, label, bytes)
 		return err
 	}
 	pol := cfg.Recovery.withDefaults()
-	_, retries, err := p.Ledger.MoveWithRetry(cfg.Day, dir, label, bytes, pol.Transfer,
+	_, retries, err := p.Ledger.MoveWithRetryCtx(ctx, cfg.Day, dir, label, bytes, pol.Transfer,
 		func(attempt int) (bool, float64) {
 			return fm.TransferStall(label, attempt), fm.Jitter(label, 0, 0, attempt)
 		})
@@ -259,24 +298,33 @@ func (p *Pipeline) RunNightsCtx(ctx context.Context, spec WorkflowSpec, heuristi
 		if err := ctx.Err(); err != nil {
 			return reports, err
 		}
+		nctx, nsp := obs.StartSpan(ctx, "night",
+			obs.String("workflow", spec.Kind.String()),
+			obs.String("heuristic", heuristic),
+			obs.Int("day", int64(night)))
 		var exec cluster.ExecResult
 		switch heuristic {
 		case "", "FFDT-DC":
 			s, err := sched.FFDTDC(remaining, constraints)
 			if err != nil {
+				nsp.End()
 				return nil, err
 			}
-			exec, err = cluster.ExecuteBackfill(cluster.FlattenSchedule(s), constraints, deadline)
+			exec, err = cluster.ExecuteBackfillOpts(cluster.FlattenSchedule(s), constraints,
+				cluster.ExecOptions{Deadline: deadline, Ctx: nctx})
 			if err != nil {
+				nsp.End()
 				return nil, err
 			}
 		case "NFDT-DC":
 			s, err := sched.NFDTDC(remaining, constraints)
 			if err != nil {
+				nsp.End()
 				return nil, err
 			}
-			exec = cluster.ExecuteLevelSync(s, deadline)
+			exec = cluster.ExecuteLevelSyncOpts(s, cluster.ExecOptions{Deadline: deadline, Ctx: nctx})
 		default:
+			nsp.End()
 			return nil, fmt.Errorf("core: unknown heuristic %q", heuristic)
 		}
 		completed := int64(len(exec.Records))
@@ -291,12 +339,28 @@ func (p *Pipeline) RunNightsCtx(ctx context.Context, spec WorkflowSpec, heuristi
 			SummaryBytes: completed * spec.SummaryBytesPerSim,
 			RawBytes:     completed * spec.RawBytesPerSim,
 		}
-		if _, err := p.Ledger.Move(night, transfer.HomeToRemote, "night-configs", rep.ConfigBytes); err != nil {
+		rep.MakespanLB = sched.MakespanLowerBound(remaining, constraints.TotalNodes)
+		if rep.MakespanLB > 0 && constraints.TotalNodes > 0 {
+			area := 0.0
+			for _, t := range remaining {
+				area += t.Time * float64(t.Nodes)
+			}
+			rep.UtilizationBound = area / (rep.MakespanLB * float64(constraints.TotalNodes))
+		}
+		if _, err := p.Ledger.MoveCtx(nctx, night, transfer.HomeToRemote, "night-configs", rep.ConfigBytes); err != nil {
+			nsp.End()
 			return nil, err
 		}
-		if _, err := p.Ledger.Move(night, transfer.RemoteToHome, "night-summaries", rep.SummaryBytes); err != nil {
+		if _, err := p.Ledger.MoveCtx(nctx, night, transfer.RemoteToHome, "night-summaries", rep.SummaryBytes); err != nil {
+			nsp.End()
 			return nil, err
 		}
+		nsp.SetAttr(
+			obs.Int("tasks", int64(rep.Tasks)),
+			obs.Float("makespan", rep.Makespan),
+			obs.Float("utilization", rep.Utilization),
+		)
+		nsp.End()
 		reports = append(reports, rep)
 		remaining = exec.Unstarted
 	}

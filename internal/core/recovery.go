@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/transfer"
 )
@@ -136,30 +137,42 @@ func (p *Pipeline) runNightRounds(ctx context.Context, cfg NightConfig, fm *faul
 	shed := func(t sched.Task, counter *int) {
 		*counter++
 		report.Shed = append(report.Shed, t)
+		obs.Event(ctx, "task.shed",
+			obs.String("region", t.Region),
+			obs.Int("cell", int64(t.Cell)),
+			obs.Int("replicate", int64(t.Replicate)))
 	}
 
 	// Round 1: the full workload under the configured heuristic.
 	var merged cluster.ExecResult
+	rctx, rsp := obs.StartSpan(ctx, "sim", obs.Int("round", 1))
 	switch cfg.Heuristic {
 	case "", "FFDT-DC":
 		s, err := sched.FFDTDC(tasks, constraints)
 		if err != nil {
+			rsp.End()
 			return cluster.ExecResult{}, err
 		}
 		merged, err = cluster.ExecuteBackfillOpts(cluster.FlattenSchedule(s), constraints,
-			cluster.ExecOptions{Deadline: deadline, Injector: inj})
+			cluster.ExecOptions{Deadline: deadline, Injector: inj, Ctx: rctx})
 		if err != nil {
+			rsp.End()
 			return cluster.ExecResult{}, err
 		}
 	case "NFDT-DC":
 		s, err := sched.NFDTDC(tasks, constraints)
 		if err != nil {
+			rsp.End()
 			return cluster.ExecResult{}, err
 		}
-		merged = cluster.ExecuteLevelSyncOpts(s, cluster.ExecOptions{Deadline: deadline, Injector: inj})
+		merged = cluster.ExecuteLevelSyncOpts(s, cluster.ExecOptions{Deadline: deadline, Injector: inj, Ctx: rctx})
 	default:
+		rsp.End()
 		return cluster.ExecResult{}, fmt.Errorf("core: unknown heuristic %q", cfg.Heuristic)
 	}
+	obs.Event(rctx, "task.placed", obs.Int("count", int64(len(merged.Records))))
+	rsp.SetAttr(obs.Int("placed", int64(len(merged.Records))), obs.Int("failed", int64(len(merged.Failed))))
+	rsp.End()
 	report.Rounds = 1
 
 	// processFailures books each failure and either requeues the task with
@@ -174,6 +187,12 @@ func (p *Pipeline) runNightRounds(ctx context.Context, cfg NightConfig, fm *faul
 			case cluster.FaultDBRefused:
 				report.DBRefusals++
 			}
+			obs.Event(ctx, "fault.injected",
+				obs.String("kind", f.Kind.String()),
+				obs.String("region", f.Task.Region),
+				obs.Int("cell", int64(f.Task.Cell)),
+				obs.Int("replicate", int64(f.Task.Replicate)),
+				obs.Int("attempt", int64(attempts[tid(f.Task)])))
 			id := tid(f.Task)
 			a := attempts[id] + 1 // attempts consumed so far
 			attempts[id] = a
@@ -192,6 +211,12 @@ func (p *Pipeline) runNightRounds(ctx context.Context, cfg NightConfig, fm *faul
 				continue
 			}
 			report.Retries++
+			obs.Event(ctx, "task.retried",
+				obs.String("region", f.Task.Region),
+				obs.Int("cell", int64(f.Task.Cell)),
+				obs.Int("replicate", int64(f.Task.Replicate)),
+				obs.Int("attempt", int64(a)),
+				obs.Float("eligible_at", eligible))
 			deferred = append(deferred, retryItem{task: f.Task, eligibleAt: eligible})
 		}
 	}
@@ -253,15 +278,22 @@ func (p *Pipeline) runNightRounds(ctx context.Context, cfg NightConfig, fm *faul
 		// Reschedule via FFDT-DC into the remaining window — the recovery
 		// path always uses the first-fit packing, whatever heuristic ran
 		// round 1.
+		rctx, rsp := obs.StartSpan(ctx, "sim",
+			obs.Int("round", int64(report.Rounds+1)), obs.Float("start_at", now))
 		s, err := sched.FFDTDC(admitted, constraints)
 		if err != nil {
+			rsp.End()
 			return cluster.ExecResult{}, err
 		}
 		exec, err := cluster.ExecuteBackfillOpts(cluster.FlattenSchedule(s), constraints,
-			cluster.ExecOptions{Deadline: deadline, StartAt: now, Injector: inj})
+			cluster.ExecOptions{Deadline: deadline, StartAt: now, Injector: inj, Ctx: rctx})
 		if err != nil {
+			rsp.End()
 			return cluster.ExecResult{}, err
 		}
+		obs.Event(rctx, "task.placed", obs.Int("count", int64(len(exec.Records))))
+		rsp.SetAttr(obs.Int("placed", int64(len(exec.Records))), obs.Int("failed", int64(len(exec.Failed))))
+		rsp.End()
 		report.Rounds++
 		merged.Records = append(merged.Records, exec.Records...)
 		merged.Failed = append(merged.Failed, exec.Failed...)
@@ -285,6 +317,17 @@ func (p *Pipeline) runNightRounds(ctx context.Context, cfg NightConfig, fm *faul
 	sort.SliceStable(report.Shed, func(i, j int) bool { return moreImportant(report.Shed[j], report.Shed[i]) })
 	if merged.Makespan > 0 && constraints.TotalNodes > 0 {
 		merged.Utilization = merged.BusyNodeSeconds / (merged.Makespan * float64(constraints.TotalNodes))
+	}
+	// Recovered = completed tasks that had at least one failed attempt —
+	// what the requeue machinery actually saved.
+	for _, r := range merged.Records {
+		if attempts[tid(r.Task)] > 0 {
+			report.Recovered++
+		}
+	}
+	if p.FaultCounters != nil {
+		p.FaultCounters.Recovered.Add(int64(report.Recovered))
+		p.FaultCounters.Shed.Add(int64(len(report.Shed)))
 	}
 	return merged, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/epihiper"
 	"repro/internal/lhs"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/output"
 	"repro/internal/stats"
 	"repro/internal/surveillance"
@@ -150,9 +151,12 @@ func jobSeed(job SimJob) uint64 {
 // finish (one sim is the cancellation granularity) and ctx.Err() is
 // returned, so abandoned requests stop burning CPU.
 func (p *Pipeline) runJobs(ctx context.Context, day int, label string, jobs []SimJob, shStart, shEnd int) ([]*SimOutput, error) {
+	ctx, sp := obs.StartSpan(ctx, "sim",
+		obs.String("label", label), obs.Int("jobs", int64(len(jobs))))
+	defer sp.End()
 	// Daily configuration push (100MB–8.7GB band at full scale).
 	configBytes := int64(len(jobs)) * 64 * transfer.KB
-	if _, err := p.Ledger.Move(day, transfer.HomeToRemote, label+"-configs", configBytes); err != nil {
+	if _, err := p.Ledger.MoveCtx(ctx, day, transfer.HomeToRemote, label+"-configs", configBytes); err != nil {
 		return nil, err
 	}
 	outs := make([]*SimOutput, len(jobs))
@@ -171,7 +175,12 @@ func (p *Pipeline) runJobs(ctx context.Context, day int, label string, jobs []Si
 					errs[i] = err
 					continue
 				}
+				_, jsp := obs.StartSpan(ctx, "sim.job",
+					obs.String("state", jobs[i].State),
+					obs.Int("cell", int64(jobs[i].Cell)),
+					obs.Int("replicate", int64(jobs[i].Replicate)))
 				outs[i], errs[i] = p.RunSim(jobs[i], shStart, shEnd)
+				jsp.End()
 			}
 		}()
 	}
@@ -195,7 +204,7 @@ dispatch:
 		}
 		summaryBytes += outs[i].Agg.SummaryBytes()
 	}
-	if _, err := p.Ledger.Move(day, transfer.RemoteToHome, label+"-summaries", summaryBytes); err != nil {
+	if _, err := p.Ledger.MoveCtx(ctx, day, transfer.RemoteToHome, label+"-summaries", summaryBytes); err != nil {
 		return nil, err
 	}
 	return outs, nil
@@ -320,6 +329,9 @@ func (p *Pipeline) RunCalibrationWorkflow(cfg CalibrationConfig) (*CalibrationOu
 // cancelling ctx stops the simulation fan-out and skips the MCMC fit.
 func (p *Pipeline) RunCalibrationWorkflowCtx(ctx context.Context, cfg CalibrationConfig) (*CalibrationOutcome, error) {
 	cfg.fillDefaults()
+	ctx, sp := obs.StartSpan(ctx, "workflow.calibration",
+		obs.String("state", cfg.State), obs.Int("cells", int64(cfg.Cells)))
+	defer sp.End()
 	st, err := synthpop.StateByCode(cfg.State)
 	if err != nil {
 		return nil, err
@@ -383,7 +395,7 @@ func (p *Pipeline) RunCalibrationWorkflowCtx(ctx context.Context, cfg Calibratio
 		return nil, err
 	}
 	out.Calibrator = cal
-	post, err := cal.Sample(calib.Config{
+	post, err := cal.SampleCtx(ctx, calib.Config{
 		Steps: cfg.Steps, BurnIn: cfg.BurnIn, Seed: p.Seed ^ 0x9057E7107,
 		SigmaDeltaMax: cfg.SigmaDeltaMax,
 		Chains:        cfg.Chains, Parallelism: cfg.ChainParallelism,
@@ -521,6 +533,9 @@ func (p *Pipeline) RunPredictionWorkflowCtx(ctx context.Context, cfg PredictionC
 	if len(cfg.Configs) == 0 {
 		return nil, fmt.Errorf("core: prediction needs calibrated configs")
 	}
+	ctx, sp := obs.StartSpan(ctx, "workflow.prediction",
+		obs.String("state", cfg.State), obs.Int("configs", int64(len(cfg.Configs))))
+	defer sp.End()
 	if cfg.Replicates <= 0 {
 		cfg.Replicates = 15
 	}
@@ -674,6 +689,9 @@ func (p *Pipeline) RunCounterfactualWorkflowCtx(ctx context.Context, cfg Counter
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("core: empty factorial design")
 	}
+	ctx, sp := obs.StartSpan(ctx, "workflow.economic",
+		obs.Int("cells", int64(len(cells))), obs.Int("states", int64(len(cfg.States))))
+	defer sp.End()
 	out := &CounterfactualOutcome{Config: cfg, Cells: cells, Sims: map[int][]*SimOutput{}}
 	for _, cell := range cells {
 		pr := cfg.Base

@@ -1,6 +1,7 @@
 package epihiper
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"slices"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/disease"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/synthpop"
 )
@@ -420,9 +422,22 @@ func Attack(res *Result, n int) float64 {
 // whole network, so unbounded fan-out at production replicate counts
 // multiplies peak memory for no throughput gain.
 func RunReplicates(cfg Config, replicates int) ([]*Result, error) {
+	return RunReplicatesCtx(context.Background(), cfg, replicates)
+}
+
+// RunReplicatesCtx is RunReplicates under an "epihiper.replicates" span with
+// one child span per replicate. Seeding and scheduling are identical to
+// RunReplicates — tracing reads only the tracer's clock, never the
+// simulation RNG — so results are bit-identical with or without a tracer.
+func RunReplicatesCtx(ctx context.Context, cfg Config, replicates int) ([]*Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "epihiper.replicates",
+		obs.Int("replicates", int64(replicates)), obs.Int("days", int64(cfg.Days)))
+	defer sp.End()
 	results := make([]*Result, replicates)
 	errs := make([]error, replicates)
 	runOne := func(rep int) {
+		_, rsp := obs.StartSpan(ctx, "epihiper.replicate", obs.Int("replicate", int64(rep)))
+		defer rsp.End()
 		c := cfg
 		c.Seed = cfg.Seed + uint64(rep)*0x9E3779B97F4A7C15
 		c.Recorder = nil // recorders are not safe across replicate goroutines
@@ -435,6 +450,9 @@ func RunReplicates(cfg Config, replicates int) ([]*Result, error) {
 			return
 		}
 		results[rep], errs[rep] = sim.Run()
+		if results[rep] != nil {
+			rsp.SetAttr(obs.Int("infections", results[rep].TotalInfections))
+		}
 	}
 	parallelSafe := cfg.Interventions == nil || cfg.InterventionsFactory != nil
 	if parallelSafe {

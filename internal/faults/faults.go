@@ -85,6 +85,9 @@ type TaskFault struct {
 // Model answers fault queries for a Spec.
 type Model struct {
 	spec Spec
+	// ctrs, when set, books injected faults. Counting happens after the
+	// decision is drawn, so it never changes the deterministic trace.
+	ctrs *Counters
 }
 
 // New builds a model. A nil model is returned for the zero (failure-free)
@@ -98,6 +101,14 @@ func New(spec Spec) *Model {
 
 // Spec returns the model's configuration.
 func (m *Model) Spec() Spec { return m.spec }
+
+// SetCounters attaches an injection-count sink; nil detaches it. Safe on a
+// nil model (the failure-free case books nothing).
+func (m *Model) SetCounters(c *Counters) {
+	if m != nil {
+		m.ctrs = c
+	}
+}
 
 // Fault-class domain tags keep the decision streams independent.
 const (
@@ -150,6 +161,9 @@ func (m *Model) Task(region string, cell, replicate, attempt int) TaskFault {
 	}
 	id := []uint64{hashString(region), uint64(uint32(cell)), uint64(uint32(replicate)), uint64(uint32(attempt))}
 	if m.spec.DBRefusalProb > 0 && m.uniform(append([]uint64{tagDB}, id...)...) < m.spec.DBRefusalProb {
+		if m.ctrs != nil {
+			m.ctrs.DBRefusals.Add(1)
+		}
 		return TaskFault{Kind: DBRefusal}
 	}
 	if m.spec.TaskCrashProb > 0 && m.uniform(append([]uint64{tagCrash}, id...)...) < m.spec.TaskCrashProb {
@@ -157,6 +171,9 @@ func (m *Model) Task(region string, cell, replicate, attempt int) TaskFault {
 		// endpoints so a crashed attempt always wastes some node-time but
 		// never masquerades as a completion.
 		u := m.uniform(append([]uint64{tagFrac}, id...)...)
+		if m.ctrs != nil {
+			m.ctrs.Crashes.Add(1)
+		}
 		return TaskFault{Kind: Crash, Frac: 0.02 + 0.96*u}
 	}
 	return TaskFault{}
@@ -168,7 +185,11 @@ func (m *Model) TransferStall(label string, attempt int) bool {
 	if m == nil || m.spec.TransferStallProb <= 0 {
 		return false
 	}
-	return m.uniform(tagStall, hashString(label), uint64(uint32(attempt))) < m.spec.TransferStallProb
+	stalled := m.uniform(tagStall, hashString(label), uint64(uint32(attempt))) < m.spec.TransferStallProb
+	if stalled && m.ctrs != nil {
+		m.ctrs.TransferStalls.Add(1)
+	}
+	return stalled
 }
 
 // Jitter returns a deterministic value in [0, 1) used to spread backoff

@@ -1,11 +1,13 @@
 package mcmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -96,6 +98,14 @@ func (e *ConvergenceError) Error() string {
 // stateless target. The result is deterministic for a fixed cfg.Seed at any
 // Parallelism.
 func RunChains(newTarget func(chain int) LogTarget, cfg MultiConfig) (*MultiResult, error) {
+	return RunChainsCtx(context.Background(), newTarget, cfg)
+}
+
+// RunChainsCtx is RunChains under an "mcmc" span with one "mcmc.chain" child
+// per chain and a "calibration.gate" event recording the R̂/ESS verdict.
+// Chain seeding and pooling are untouched by tracing, so the posterior is
+// bit-identical with or without a tracer on ctx.
+func RunChainsCtx(ctx context.Context, newTarget func(chain int) LogTarget, cfg MultiConfig) (*MultiResult, error) {
 	if newTarget == nil {
 		return nil, fmt.Errorf("mcmc: nil target factory")
 	}
@@ -110,6 +120,11 @@ func RunChains(newTarget func(chain int) LogTarget, cfg MultiConfig) (*MultiResu
 		cfg.Parallelism = m
 	}
 	d := len(cfg.Init)
+	ctx, sp := obs.StartSpan(ctx, "mcmc",
+		obs.Int("chains", int64(m)),
+		obs.Int("parallelism", int64(cfg.Parallelism)),
+		obs.Int("steps", int64(cfg.Steps)))
+	defer sp.End()
 
 	// Derive every chain's seed and starting point up front, from a
 	// dedicated seeding stream, so the per-chain work is a pure function
@@ -144,7 +159,12 @@ func RunChains(newTarget func(chain int) LogTarget, cfg MultiConfig) (*MultiResu
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			_, csp := obs.StartSpan(ctx, "mcmc.chain", obs.Int("chain", int64(c)))
 			results[c], errs[c] = Metropolis(targets[c], cfgs[c])
+			if results[c] != nil {
+				csp.SetAttr(obs.Float("accept_rate", results[c].AcceptRate))
+			}
+			csp.End()
 		}(c)
 	}
 	wg.Wait()
@@ -188,6 +208,19 @@ func RunChains(newTarget func(chain int) LogTarget, cfg MultiConfig) (*MultiResu
 			out.Converged = false
 		}
 	}
+	worstR, minESS := 0.0, math.Inf(1)
+	for k := 0; k < d; k++ {
+		if math.IsNaN(out.RHat[k]) || out.RHat[k] > worstR {
+			worstR = out.RHat[k]
+		}
+		if out.ESS[k] < minESS {
+			minESS = out.ESS[k]
+		}
+	}
+	obs.Event(ctx, "calibration.gate",
+		obs.Bool("converged", out.Converged),
+		obs.Float("worst_rhat", worstR),
+		obs.Float("min_ess", minESS))
 	if (cfg.RHatMax > 0 || cfg.MinESS > 0) && !out.Converged {
 		return out, &ConvergenceError{
 			RHat: out.RHat, ESS: out.ESS,

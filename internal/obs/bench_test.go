@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("epi_bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("epi_bench_seconds", DefaultLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 100)
+	}
+}
+
+// BenchmarkSpanStartEnd prices one traced unit of work with a discarding
+// sink — the per-span cost the pipeline pays when tracing is on.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := NewTracer(discard{}, WithClock(FixedClock(time.Unix(0, 0), time.Microsecond)))
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench", Int("i", int64(i)))
+		sp.End()
+	}
+}
+
+// BenchmarkSpanStartEndUntraced prices the same call path with no tracer in
+// the context — the cost instrumented code pays when observability is off.
+func BenchmarkSpanStartEndUntraced(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench", Int("i", int64(i)))
+		sp.End()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		r.Counter(`epi_bench_total{kind="` + string(rune('a'+i)) + `"}`).Inc()
+		r.Histogram(`epi_bench_seconds{kind="`+string(rune('a'+i))+`"}`, DefaultLatencyBuckets).Observe(0.2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Emit(Entry) {}

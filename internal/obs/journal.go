@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Entry types.
+const (
+	// EntrySpan is a span close: a named interval with duration and tree
+	// position.
+	EntrySpan = "span"
+	// EntryEvent is a structured point event (task placed/retried/shed,
+	// fault injected, transfer recorded, gate result, ...).
+	EntryEvent = "event"
+)
+
+// Entry is one line of the run journal.
+type Entry struct {
+	Type string `json:"type"`
+	Name string `json:"name"`
+	// Span is the owning span ID (for EntrySpan, the span itself); zero
+	// when the event fired outside any span.
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	// StartNS/EndNS bracket a span in unix nanoseconds; AtNS stamps an
+	// event.
+	StartNS int64          `json:"start_ns,omitempty"`
+	EndNS   int64          `json:"end_ns,omitempty"`
+	AtNS    int64          `json:"at_ns,omitempty"`
+	Seconds float64        `json:"seconds,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Journal writes entries as JSON Lines — one self-describing object per
+// line, append-only, so a night's journal can be tailed while it runs and
+// replayed afterwards. Safe for concurrent use.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJournal wraps a writer. The caller owns the writer's lifecycle
+// (e.g. closing the underlying file).
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Emit appends one entry as a JSON line. The first write error sticks and
+// suppresses further writes (journals must never take the pipeline down).
+func (j *Journal) Emit(e Entry) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	if j.err == nil {
+		_, j.err = j.w.Write(b)
+	}
+	j.mu.Unlock()
+}
+
+// Err returns the sticky write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// ReadEntries parses a JSONL journal back into entries — the round-trip
+// used by -trace-summary and by tests.
+func ReadEntries(r io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Collector is an in-memory sink, optionally teeing to a next sink — the
+// way cmd/nightly both writes the JSONL file and aggregates the
+// -trace-summary without re-reading it.
+type Collector struct {
+	next Sink
+	mu   sync.Mutex
+	es   []Entry
+}
+
+// NewCollector builds a collector; next may be nil.
+func NewCollector(next Sink) *Collector { return &Collector{next: next} }
+
+// Emit stores the entry and forwards it.
+func (c *Collector) Emit(e Entry) {
+	c.mu.Lock()
+	c.es = append(c.es, e)
+	c.mu.Unlock()
+	if c.next != nil {
+		c.next.Emit(e)
+	}
+}
+
+// Entries returns a copy of everything collected so far.
+func (c *Collector) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Entry(nil), c.es...)
+}
+
+// PhaseStat aggregates the spans of one name.
+type PhaseStat struct {
+	Name    string
+	Count   int
+	Seconds float64
+}
+
+// Summarize aggregates span entries by name — the per-phase wall-clock
+// breakdown (partition, sim, transfer, calibrate, ...) of a run journal —
+// sorted by total seconds descending (name ascending at ties).
+func Summarize(entries []Entry) []PhaseStat {
+	acc := map[string]*PhaseStat{}
+	for _, e := range entries {
+		if e.Type != EntrySpan {
+			continue
+		}
+		s, ok := acc[e.Name]
+		if !ok {
+			s = &PhaseStat{Name: e.Name}
+			acc[e.Name] = s
+		}
+		s.Count++
+		s.Seconds += e.Seconds
+	}
+	out := make([]PhaseStat, 0, len(acc))
+	for _, s := range acc {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// EventCounts tallies event entries by name, sorted by name — the journal's
+// task placed/retried/shed and fault counts at a glance.
+func EventCounts(entries []Entry) []PhaseStat {
+	acc := map[string]int{}
+	for _, e := range entries {
+		if e.Type == EntryEvent {
+			acc[e.Name]++
+		}
+	}
+	out := make([]PhaseStat, 0, len(acc))
+	for name, n := range acc {
+		out = append(out, PhaseStat{Name: name, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

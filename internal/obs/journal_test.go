@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	in := []Entry{
+		{Type: EntrySpan, Name: "night", Span: 1, StartNS: 10, EndNS: 30, Seconds: 2e-8,
+			Attrs: map[string]any{"workflow": "Prediction", "day": float64(1)}},
+		{Type: EntryEvent, Name: "task.shed", Span: 1, AtNS: 20,
+			Attrs: map[string]any{"region": "VA", "cell": float64(3)}},
+		{Type: EntrySpan, Name: "transfer", Span: 2, Parent: 1, StartNS: 12, EndNS: 14, Seconds: 2e-9},
+	}
+	for _, e := range in {
+		j.Emit(e)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(in) {
+		t.Fatalf("journal has %d lines, want %d", lines, len(in))
+	}
+	out, err := ReadEntries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestReadEntriesRejectsGarbage(t *testing.T) {
+	if _, err := ReadEntries(strings.NewReader("{\"type\":\"span\"}\nnot json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestCollectorTees(t *testing.T) {
+	var buf bytes.Buffer
+	col := NewCollector(NewJournal(&buf))
+	col.Emit(Entry{Type: EntryEvent, Name: "x"})
+	if len(col.Entries()) != 1 {
+		t.Fatal("collector dropped the entry")
+	}
+	if !strings.Contains(buf.String(), `"name":"x"`) {
+		t.Fatal("collector did not forward to the journal")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	es := []Entry{
+		{Type: EntrySpan, Name: "sim", Seconds: 3},
+		{Type: EntrySpan, Name: "sim", Seconds: 2},
+		{Type: EntrySpan, Name: "transfer", Seconds: 1},
+		{Type: EntryEvent, Name: "task.shed"},
+		{Type: EntryEvent, Name: "task.shed"},
+		{Type: EntryEvent, Name: "fault.injected"},
+	}
+	sum := Summarize(es)
+	if len(sum) != 2 || sum[0].Name != "sim" || sum[0].Count != 2 || sum[0].Seconds != 5 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+	if sum[1].Name != "transfer" || sum[1].Seconds != 1 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+	ev := EventCounts(es)
+	if len(ev) != 2 || ev[0].Name != "fault.injected" || ev[0].Count != 1 || ev[1].Count != 2 {
+		t.Fatalf("event counts wrong: %+v", ev)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("epi_x_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("epi_x_total"); again != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("epi_y")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("epi_lat_seconds", []float64{1, 10})
+	for _, v := range []float64{0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 106.2 {
+		t.Fatalf("count %d sum %v", s.Count, s.Sum)
+	}
+	want := []int64{2, 3, 4} // ≤1, ≤10, +Inf cumulative
+	for i, w := range want {
+		if s.CumCounts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, s.CumCounts[i], w)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`epi_tasks_total{workflow="prediction"}`).Add(3)
+	r.Counter(`epi_tasks_total{workflow="economic"}`).Add(1)
+	r.Help("epi_tasks_total", "tasks executed")
+	r.Gauge("epi_queue_depth").Set(7)
+	r.GaugeFunc("epi_cache_entries", func() float64 { return 2 })
+	r.CounterFunc("epi_cache_hits_total", func() float64 { return 9 })
+	r.Histogram(`epi_lat_seconds{workflow="night"}`, []float64{1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP epi_tasks_total tasks executed\n",
+		"# TYPE epi_tasks_total counter\n",
+		`epi_tasks_total{workflow="economic"} 1` + "\n",
+		`epi_tasks_total{workflow="prediction"} 3` + "\n",
+		"# TYPE epi_queue_depth gauge\n",
+		"epi_queue_depth 7\n",
+		"epi_cache_entries 2\n",
+		"# TYPE epi_cache_hits_total counter\n",
+		"epi_cache_hits_total 9\n",
+		"# TYPE epi_lat_seconds histogram\n",
+		`epi_lat_seconds_bucket{workflow="night",le="1"} 1` + "\n",
+		`epi_lat_seconds_bucket{workflow="night",le="+Inf"} 1` + "\n",
+		`epi_lat_seconds_sum{workflow="night"} 0.5` + "\n",
+		`epi_lat_seconds_count{workflow="night"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families are sorted by base name: the economic series precedes the
+	// prediction series, and cache entries precede queue depth.
+	if strings.Index(out, `workflow="economic"`) > strings.Index(out, `workflow="prediction"`) {
+		t.Fatal("series within a family not sorted")
+	}
+	if strings.Index(out, "epi_cache_entries") > strings.Index(out, "epi_queue_depth") {
+		t.Fatal("families not sorted by base name")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("epi_thing_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one family as counter and gauge did not panic")
+		}
+	}()
+	r.Gauge(`epi_thing_total{a="b"}`)
+}
+
+// TestRegistryConcurrency hammers every metric type from many goroutines
+// while exposition runs — the -race gate for the shared registry.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("epi_fn", func() float64 { return 1 })
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("epi_c_total").Inc()
+				r.Gauge("epi_g").Add(1)
+				r.Histogram("epi_h_seconds", nil).Observe(float64(i) / 100)
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("epi_c_total").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("epi_g").Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("epi_h_seconds", nil).Snapshot().Count; got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedTracer(sink Sink) *Tracer {
+	return NewTracer(sink, WithClock(FixedClock(time.Unix(0, 0), time.Second)))
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	col := NewCollector(nil)
+	ctx := WithTracer(context.Background(), fixedTracer(col))
+
+	ctx, night := StartSpan(ctx, "night", String("workflow", "Prediction"))
+	cctx, part := StartSpan(ctx, "partition")
+	part.SetAttr(Int("tasks", 306))
+	Event(cctx, "task.placed", Int("cell", 3))
+	part.End()
+	night.End()
+
+	es := col.Entries()
+	if len(es) != 3 {
+		t.Fatalf("want 3 entries, got %d: %+v", len(es), es)
+	}
+	ev, pSpan, nSpan := es[0], es[1], es[2]
+	if ev.Type != EntryEvent || ev.Name != "task.placed" {
+		t.Fatalf("first entry not the event: %+v", ev)
+	}
+	if pSpan.Name != "partition" || nSpan.Name != "night" {
+		t.Fatalf("span close order wrong: %+v %+v", pSpan, nSpan)
+	}
+	if pSpan.Parent != nSpan.Span {
+		t.Fatalf("partition parent %d != night id %d", pSpan.Parent, nSpan.Span)
+	}
+	if ev.Span != pSpan.Span {
+		t.Fatalf("event bound to span %d, want %d", ev.Span, pSpan.Span)
+	}
+	if pSpan.Attrs["tasks"] != float64(306) && pSpan.Attrs["tasks"] != int64(306) {
+		t.Fatalf("attr lost: %+v", pSpan.Attrs)
+	}
+	if nSpan.Attrs["workflow"] != "Prediction" {
+		t.Fatalf("night attrs: %+v", nSpan.Attrs)
+	}
+	// FixedClock: night opened at t=0s, partition at 1s, event at 2s,
+	// partition closed at 3s, night at 4s.
+	if pSpan.Seconds != 2 || nSpan.Seconds != 4 {
+		t.Fatalf("durations %v/%v, want 2/4", pSpan.Seconds, nSpan.Seconds)
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "anything", Int("k", 1))
+	if s != nil {
+		t.Fatal("tracerless StartSpan minted a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("tracerless StartSpan changed the context")
+	}
+	// All nil-span methods are no-ops.
+	s.SetAttr(String("a", "b"))
+	s.Event("e")
+	s.End()
+	s.End()
+	Event(ctx, "nothing")
+}
+
+func TestDoubleEndEmitsOnce(t *testing.T) {
+	col := NewCollector(nil)
+	ctx := WithTracer(context.Background(), fixedTracer(col))
+	_, s := StartSpan(ctx, "once")
+	s.End()
+	s.End()
+	if n := len(col.Entries()); n != 1 {
+		t.Fatalf("double End emitted %d entries", n)
+	}
+}
+
+func TestSpanMetricsHistogram(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(nil, WithClock(FixedClock(time.Unix(0, 0), time.Second)), WithSpanMetrics(reg))
+	ctx := WithTracer(context.Background(), tr)
+	_, s := StartSpan(ctx, "sim")
+	s.End()
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `epi_span_seconds_count{span="sim"} 1`) {
+		t.Fatalf("span histogram missing:\n%s", b.String())
+	}
+}
+
+func TestFixedClockDeterministicJournal(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		j := NewJournal(&buf)
+		ctx := WithTracer(context.Background(), NewTracer(j,
+			WithClock(FixedClock(time.Unix(1000, 0), 250*time.Millisecond))))
+		ctx, outer := StartSpan(ctx, "outer")
+		Event(ctx, "mark", Int("i", 1))
+		_, inner := StartSpan(ctx, "inner")
+		inner.End()
+		outer.End()
+		return buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("fixed-clock journals differ:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,8 +1,10 @@
 package scenario
 
 import (
-	"sort"
+	"math"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds; the last
@@ -10,25 +12,6 @@ import (
 // multi-minute full-scale workflows.
 var latencyBounds = []float64{
 	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300, 600,
-}
-
-// Histogram is a fixed-bucket latency histogram.
-type Histogram struct {
-	counts []int64 // len(latencyBounds)+1; last bucket is +Inf
-	sum    float64
-	n      int64
-}
-
-func newHistogram() *Histogram {
-	return &Histogram{counts: make([]int64, len(latencyBounds)+1)}
-}
-
-// observe books one duration in seconds. Caller holds the metrics lock.
-func (h *Histogram) observe(seconds float64) {
-	i := sort.SearchFloat64s(latencyBounds, seconds)
-	h.counts[i]++
-	h.sum += seconds
-	h.n++
 }
 
 // HistogramBucket is one cumulative histogram bucket.
@@ -47,55 +30,76 @@ type HistogramSnapshot struct {
 	Buckets    []HistogramBucket `json:"buckets"`
 }
 
-func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.n, SumSeconds: h.sum}
-	var cum int64
-	for i, c := range h.counts {
-		cum += c
+// fromObs converts an obs histogram snapshot to the JSON shape this
+// package's /metrics.json payload has always served.
+func fromObs(s obs.HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count, SumSeconds: s.Sum}
+	for i, cum := range s.CumCounts {
 		b := HistogramBucket{Count: cum}
-		if i < len(latencyBounds) {
-			b.LE = latencyBounds[i]
+		if i < len(s.Bounds) && !math.IsInf(s.Bounds[i], 1) {
+			b.LE = s.Bounds[i]
 		} else {
 			b.Inf = true
 		}
-		s.Buckets = append(s.Buckets, b)
+		out.Buckets = append(out.Buckets, b)
 	}
-	return s
+	return out
 }
 
-// Metrics aggregates the service counters. Gauges that live elsewhere
-// (queue depth, cache stats, jobs by state) are merged into the snapshot by
-// the service.
+// Metrics aggregates the service counters on a shared obs.Registry — the
+// histogram machinery this package used to carry privately now lives in
+// internal/obs, so the same series surface both on the legacy JSON snapshot
+// and on the unified Prometheus /metrics endpoint.
 type Metrics struct {
-	mu        sync.Mutex
-	submitted int64
-	rejected  int64
-	deduped   int64
-	latency   map[string]*Histogram
+	reg       *obs.Registry
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	deduped   *obs.Counter
+
+	mu      sync.Mutex
+	latency map[string]*obs.Histogram // by workflow, for snapshot enumeration
 }
 
-// NewMetrics builds an empty metrics registry.
-func NewMetrics() *Metrics {
-	return &Metrics{latency: map[string]*Histogram{}}
+// NewMetrics builds the service metrics over a registry; nil allocates a
+// private one.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	reg.Help("epi_scenario_submitted_total", "scenario jobs admitted to the queue")
+	reg.Help("epi_scenario_rejected_total", "scenario submissions shed by backpressure")
+	reg.Help("epi_scenario_deduped_total", "submissions attached to an identical in-flight job")
+	reg.Help("epi_scenario_latency_seconds", "scenario run latency by workflow")
+	return &Metrics{
+		reg:       reg,
+		submitted: reg.Counter("epi_scenario_submitted_total"),
+		rejected:  reg.Counter("epi_scenario_rejected_total"),
+		deduped:   reg.Counter("epi_scenario_deduped_total"),
+		latency:   map[string]*obs.Histogram{},
+	}
 }
 
-func (m *Metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
-func (m *Metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *Metrics) incDeduped()   { m.mu.Lock(); m.deduped++; m.mu.Unlock() }
+// Registry returns the backing registry (for exposition and for wiring
+// further gauges onto the same endpoint).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+func (m *Metrics) incSubmitted() { m.submitted.Inc() }
+func (m *Metrics) incRejected()  { m.rejected.Inc() }
+func (m *Metrics) incDeduped()   { m.deduped.Inc() }
 
 // observeLatency books one completed run of the given workflow.
 func (m *Metrics) observeLatency(workflow string, seconds float64) {
 	m.mu.Lock()
 	h, ok := m.latency[workflow]
 	if !ok {
-		h = newHistogram()
+		h = m.reg.Histogram(`epi_scenario_latency_seconds{workflow="`+workflow+`"}`, latencyBounds)
 		m.latency[workflow] = h
 	}
-	h.observe(seconds)
 	m.mu.Unlock()
+	h.Observe(seconds)
 }
 
-// Snapshot is the /metrics payload.
+// Snapshot is the /metrics.json payload.
 type Snapshot struct {
 	QueueDepth    int   `json:"queue_depth"`
 	QueueCapacity int   `json:"queue_capacity"`
@@ -121,7 +125,7 @@ func (m *Metrics) counters() (submitted, rejected, deduped int64, latency map[st
 	defer m.mu.Unlock()
 	latency = make(map[string]HistogramSnapshot, len(m.latency))
 	for k, h := range m.latency {
-		latency[k] = h.snapshot()
+		latency[k] = fromObs(h.Snapshot())
 	}
-	return m.submitted, m.rejected, m.deduped, latency
+	return m.submitted.Value(), m.rejected.Value(), m.deduped.Value(), latency
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -186,6 +187,10 @@ type Config struct {
 	// Fingerprint overrides the pipeline fingerprint (tests without a
 	// pipeline).
 	Fingerprint string
+	// Registry receives the service's metric series (queue depth, in-flight
+	// jobs, cache size/hit-ratio, per-workflow latency histograms). Nil
+	// allocates a private registry, reachable via Service.Registry().
+	Registry *obs.Registry
 }
 
 // Service is the scenario engine: admission control, content-addressed
@@ -230,7 +235,7 @@ func NewService(cfg Config) *Service {
 		workers:  cfg.Workers,
 		queueCap: cfg.QueueCap,
 		cache:    NewCache(cfg.CacheCap),
-		metrics:  NewMetrics(),
+		metrics:  NewMetrics(cfg.Registry),
 		queue:    make(chan *Job, cfg.QueueCap),
 		inflight: map[string]*Job{},
 		registry: map[string]*Job{},
@@ -244,11 +249,62 @@ func NewService(cfg Config) *Service {
 	if s.fingerprint == "" && cfg.Pipeline != nil {
 		s.fingerprint = Fingerprint(cfg.Pipeline)
 	}
+	s.registerGauges()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// Registry returns the obs registry carrying the service's metric series —
+// the source the HTTP layer's Prometheus /metrics endpoint renders.
+func (s *Service) Registry() *obs.Registry { return s.metrics.Registry() }
+
+// registerGauges wires the live queue/job/cache state onto the registry as
+// exposition-time callbacks. Callbacks run outside the registry lock, so
+// taking s.mu / the cache lock here is deadlock-free.
+func (s *Service) registerGauges() {
+	reg := s.Registry()
+	jobCount := func(pick func() int64) func() float64 {
+		return func() float64 { return float64(pick()) }
+	}
+	counts := func() (queued, running int, done, failed, canceled int64, draining bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.counts.queued, s.counts.running, s.counts.done, s.counts.failed, s.counts.canceled, s.draining
+	}
+	reg.Help("epi_scenario_queue_depth", "jobs waiting for a worker")
+	reg.GaugeFunc("epi_scenario_queue_depth", jobCount(func() int64 { q, _, _, _, _, _ := counts(); return int64(q) }))
+	reg.Help("epi_scenario_queue_capacity", "bounded queue capacity")
+	reg.GaugeFunc("epi_scenario_queue_capacity", func() float64 { return float64(s.queueCap) })
+	reg.Help("epi_scenario_workers", "worker-pool size")
+	reg.GaugeFunc("epi_scenario_workers", func() float64 { return float64(s.workers) })
+	reg.Help("epi_scenario_inflight_jobs", "jobs currently running on a worker")
+	reg.GaugeFunc("epi_scenario_inflight_jobs", jobCount(func() int64 { _, r, _, _, _, _ := counts(); return int64(r) }))
+	reg.Help("epi_scenario_draining", "1 while the service is shutting down")
+	reg.GaugeFunc("epi_scenario_draining", func() float64 {
+		if _, _, _, _, _, d := counts(); d {
+			return 1
+		}
+		return 0
+	})
+	reg.Help("epi_scenario_jobs_total", "terminal jobs by state")
+	reg.CounterFunc(`epi_scenario_jobs_total{state="done"}`, jobCount(func() int64 { _, _, d, _, _, _ := counts(); return d }))
+	reg.CounterFunc(`epi_scenario_jobs_total{state="failed"}`, jobCount(func() int64 { _, _, _, f, _, _ := counts(); return f }))
+	reg.CounterFunc(`epi_scenario_jobs_total{state="canceled"}`, jobCount(func() int64 { _, _, _, _, c, _ := counts(); return c }))
+	reg.Help("epi_scenario_cache_entries", "cached results")
+	reg.GaugeFunc("epi_scenario_cache_entries", func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.Help("epi_scenario_cache_capacity", "result-cache capacity")
+	reg.GaugeFunc("epi_scenario_cache_capacity", func() float64 { return float64(s.cache.Stats().Capacity) })
+	reg.Help("epi_scenario_cache_hits_total", "result-cache hits")
+	reg.CounterFunc("epi_scenario_cache_hits_total", func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.Help("epi_scenario_cache_misses_total", "specs that had to be computed")
+	reg.CounterFunc("epi_scenario_cache_misses_total", func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.Help("epi_scenario_cache_evictions_total", "results evicted by the LRU")
+	reg.CounterFunc("epi_scenario_cache_evictions_total", func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.Help("epi_scenario_cache_hit_ratio", "hits over lookups, 0 when idle")
+	reg.GaugeFunc("epi_scenario_cache_hit_ratio", func() float64 { return s.cache.Stats().HitRatio })
 }
 
 // Submit normalizes, hashes and admits a spec. The caller holds one

@@ -31,6 +31,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("DELETE /scenarios/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return s
 }
 
@@ -162,6 +163,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleMetrics serves the unified registry in Prometheus text exposition;
+// the pre-existing JSON shape moved to /metrics.json.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.svc.Registry().WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.MetricsSnapshot())
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -125,7 +126,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 	// /metrics reflects the whole story.
 	var snap Snapshot
-	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics.json", &snap); code != http.StatusOK {
 		t.Fatalf("metrics status %d", code)
 	}
 	if snap.Submitted != 2 {
@@ -166,7 +167,7 @@ func TestServerQueueFull429(t *testing.T) {
 		t.Fatal("429 without Retry-After")
 	}
 	var snap Snapshot
-	getJSON(t, ts.URL+"/metrics", &snap)
+	getJSON(t, ts.URL+"/metrics.json", &snap)
 	if snap.Rejected != 1 {
 		t.Fatalf("rejected %d want 1", snap.Rejected)
 	}
@@ -223,7 +224,7 @@ func TestServerDisconnectCancelsJob(t *testing.T) {
 		t.Fatalf("job after disconnect: ok=%v status=%+v", ok, j.Status())
 	}
 	var snap Snapshot
-	getJSON(t, ts.URL+"/metrics", &snap)
+	getJSON(t, ts.URL+"/metrics.json", &snap)
 	if snap.Jobs["canceled"] != 1 {
 		t.Fatalf("canceled %d want 1", snap.Jobs["canceled"])
 	}
@@ -397,7 +398,7 @@ func TestServerRealPipeline(t *testing.T) {
 	}
 
 	var snap Snapshot
-	getJSON(t, ts.URL+"/metrics", &snap)
+	getJSON(t, ts.URL+"/metrics.json", &snap)
 	if snap.Jobs["done"] != 3 {
 		t.Fatalf("done %d want 3", snap.Jobs["done"])
 	}
@@ -405,5 +406,46 @@ func TestServerRealPipeline(t *testing.T) {
 		if snap.Latency[wf].Count != 1 {
 			t.Fatalf("latency[%s] count %d want 1", wf, snap.Latency[wf].Count)
 		}
+	}
+}
+
+// TestServerMetricsPrometheus verifies /metrics serves the unified registry
+// in Prometheus text exposition while the pre-existing JSON shape stays
+// reachable at /metrics.json.
+func TestServerMetricsPrometheus(t *testing.T) {
+	ts, _, _ := testServer(t, 1, 4)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE epi_scenario_queue_capacity gauge",
+		"epi_scenario_queue_capacity 4",
+		"# TYPE epi_scenario_workers gauge",
+		"# TYPE epi_scenario_submitted_total counter",
+		"epi_scenario_cache_capacity",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+	var snap Snapshot
+	if code := getJSON(t, ts.URL+"/metrics.json", &snap); code != http.StatusOK {
+		t.Fatalf("json metrics status %d", code)
+	}
+	if snap.QueueCapacity != 4 {
+		t.Fatalf("legacy snapshot queue capacity = %d, want 4", snap.QueueCapacity)
 	}
 }

@@ -1,0 +1,132 @@
+package transfer
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Snapshot is the ledger's aggregate state at one instant — the numbers the
+// unified /metrics endpoint and the nightly trace summary report.
+type Snapshot struct {
+	// Transfers is the number of completed transfers.
+	Transfers int
+	// BytesHomeToRemote / BytesRemoteToHome split moved bytes by direction.
+	BytesHomeToRemote int64
+	BytesRemoteToHome int64
+	// Retries is the total stalled-attempt count across all transfers.
+	Retries int
+	// Seconds is the total modeled transfer wall time.
+	Seconds float64
+	// WindowViolations counts transfers whose elapsed time exceeded the
+	// ledger's WindowSeconds (0 when no window is configured).
+	WindowViolations int
+}
+
+// Snapshot aggregates the ledger under its lock.
+func (l *Ledger) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s Snapshot
+	s.Transfers = len(l.Records)
+	for _, r := range l.Records {
+		if r.Direction == HomeToRemote {
+			s.BytesHomeToRemote += r.Bytes
+		} else {
+			s.BytesRemoteToHome += r.Bytes
+		}
+		s.Retries += r.Retries
+		s.Seconds += r.Seconds
+		if l.WindowSeconds > 0 && r.Seconds > l.WindowSeconds {
+			s.WindowViolations++
+		}
+	}
+	return s
+}
+
+// metricLabel renders a direction as a Prometheus-safe label value.
+func metricLabel(d Direction) string {
+	if d == HomeToRemote {
+		return "home_to_remote"
+	}
+	return "remote_to_home"
+}
+
+// MoveCtx is Move wrapped in a "transfer" span carrying the label,
+// direction, byte count and modeled duration. Without a tracer on ctx it is
+// exactly Move.
+func (l *Ledger) MoveCtx(ctx context.Context, day int, dir Direction, label string, bytes int64) (float64, error) {
+	ctx, sp := obs.StartSpan(ctx, "transfer",
+		obs.String("label", label),
+		obs.String("direction", metricLabel(dir)),
+		obs.Int("bytes", bytes))
+	d, err := l.Move(day, dir, label, bytes)
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(obs.Float("model_seconds", d))
+		obs.Event(ctx, "transfer.bytes",
+			obs.String("label", label),
+			obs.String("direction", metricLabel(dir)),
+			obs.Int("bytes", bytes))
+	}
+	sp.End()
+	return d, err
+}
+
+// MoveWithRetryCtx is MoveWithRetry wrapped in a "transfer" span; every
+// stalled attempt books a transfer.retried event with the attempt number.
+func (l *Ledger) MoveWithRetryCtx(ctx context.Context, day int, dir Direction, label string, bytes int64, pol RetryPolicy, fault func(attempt int) (stalled bool, jitter float64)) (float64, int, error) {
+	ctx, sp := obs.StartSpan(ctx, "transfer",
+		obs.String("label", label),
+		obs.String("direction", metricLabel(dir)),
+		obs.Int("bytes", bytes))
+	traced := fault
+	if sp != nil && fault != nil {
+		traced = func(attempt int) (bool, float64) {
+			stalled, jitter := fault(attempt)
+			if stalled {
+				obs.Event(ctx, "transfer.retried",
+					obs.String("label", label),
+					obs.Int("attempt", int64(attempt)))
+			}
+			return stalled, jitter
+		}
+	}
+	elapsed, retries, err := l.MoveWithRetry(day, dir, label, bytes, pol, traced)
+	sp.SetAttr(obs.Int("retries", int64(retries)), obs.Float("model_seconds", elapsed))
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		obs.Event(ctx, "transfer.bytes",
+			obs.String("label", label),
+			obs.String("direction", metricLabel(dir)),
+			obs.Int("bytes", bytes))
+	}
+	sp.End()
+	return elapsed, retries, err
+}
+
+// RegisterMetrics exposes the ledger on a registry: per-direction byte
+// totals, transfer/retry counts, total modeled seconds and window
+// violations. Callbacks read a fresh Snapshot at exposition time, so the
+// series always reflect the live ledger.
+func RegisterMetrics(reg *obs.Registry, l *Ledger) {
+	reg.Help("epi_transfer_bytes_total", "bytes moved between sites by direction")
+	reg.CounterFunc(`epi_transfer_bytes_total{direction="home_to_remote"}`,
+		func() float64 { return float64(l.Snapshot().BytesHomeToRemote) })
+	reg.CounterFunc(`epi_transfer_bytes_total{direction="remote_to_home"}`,
+		func() float64 { return float64(l.Snapshot().BytesRemoteToHome) })
+	reg.Help("epi_transfer_count_total", "completed transfers")
+	reg.CounterFunc("epi_transfer_count_total",
+		func() float64 { return float64(l.Snapshot().Transfers) })
+	reg.Help("epi_transfer_retries_total", "stalled transfer attempts before success")
+	reg.CounterFunc("epi_transfer_retries_total",
+		func() float64 { return float64(l.Snapshot().Retries) })
+	reg.Help("epi_transfer_seconds_total", "total modeled transfer wall time")
+	reg.CounterFunc("epi_transfer_seconds_total",
+		func() float64 { return l.Snapshot().Seconds })
+	reg.Help("epi_transfer_window_violations", "transfers exceeding the nightly window")
+	reg.GaugeFunc("epi_transfer_window_violations",
+		func() float64 { return float64(l.Snapshot().WindowViolations) })
+}

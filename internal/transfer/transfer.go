@@ -87,6 +87,10 @@ type Record struct {
 // through the same ledger.
 type Ledger struct {
 	Link Link
+	// WindowSeconds, when positive, is the nightly transfer window; any
+	// single transfer whose elapsed seconds exceed it counts as a window
+	// violation in Snapshot. core.NewPipeline sets it from the night window.
+	WindowSeconds float64
 
 	mu      sync.Mutex
 	Records []Record
