@@ -13,6 +13,8 @@ tier1:
 	$(GO) vet ./internal/obs
 	$(GO) test ./...
 	$(GO) test -race ./internal/mcmc ./internal/calib ./internal/obs
+	$(GO) test -race ./internal/castore
+	$(GO) test -race -run 'Snapshot|WhatIf' ./internal/epihiper ./internal/core
 
 race:
 	$(GO) test -race ./...
@@ -30,14 +32,17 @@ fmt-check:
 # Machine-readable record of the performance benchmarks: the Fig 7
 # runtime-vs-size sweep, the steady-state transmission-kernel pass, the
 # calibration stack (dense vs Woodbury likelihood, serial vs multi-chain
-# Sample at a fixed draw budget), and the observability overhead pair
+# Sample at a fixed draw budget), the observability overhead pair
 # (replicate fan-out with tracing off vs on — budget ≤3% — plus the obs
-# primitive costs), with -benchmem so the zero-allocation claims are part
-# of the artifact. CI uploads the file as a non-gating artifact; it is not
-# committed.
-BENCH_JSON ?= BENCH_PR5.json
+# primitive costs), and the what-if fan-out sweep (N=8 scenarios unshared
+# vs branched from shared-prefix snapshots, cold and warm cache, with the
+# speedup_x acceptance metric), with -benchmem so the zero-allocation
+# claims are part of the artifact. CI uploads the file as a non-gating
+# artifact; it is not committed.
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7TopRuntimeVsSize$$' -benchmem . > bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkWhatIfFanout$$' -benchmem . >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkTransmissionPhase$$' -benchmem ./internal/epihiper >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkLogLik|BenchmarkSample' -benchmem ./internal/calib >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkReplicatesObs' -benchmem ./internal/epihiper >> bench_raw.txt
@@ -45,10 +50,11 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench_raw.txt
 	@rm -f bench_raw.txt
 
-# Short exploratory fuzz pass over the scheduler targets (the seed corpus
-# always runs as part of tier1).
+# Short exploratory fuzz pass over the scheduler and snapshot-codec
+# targets (the seed corpus always runs as part of tier1).
 fuzz:
 	$(GO) test ./internal/sched -fuzz FuzzRelaxedColoring -fuzztime 10s
 	$(GO) test ./internal/sched -fuzz FuzzScheduleRoundTrip -fuzztime 10s
+	$(GO) test ./internal/epihiper -fuzz FuzzSnapshotRoundTrip -fuzztime 10s
 
 check: fmt-check vet tier1 race

@@ -1,0 +1,112 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// whatIfBenchConfig is the PR 6 acceptance sweep: one calibrated
+// configuration, a 90-day horizon, and N=8 scenarios all pivoting at day
+// 60. Unshared, every scenario re-simulates days [0,60) of identical
+// baseline history; shared, that prefix is simulated once and every
+// scenario branches from its snapshot — the theoretical wall-clock ratio is
+// (8*90)/(60+8*30) = 2.4x.
+func whatIfBenchConfig() (core.PredictionConfig, []core.WhatIf) {
+	cfg := core.PredictionConfig{
+		State: "VA",
+		Configs: []core.Params{
+			{TAU: 0.25, SYMP: 0.65, SHCompliance: 0.5, VHICompliance: 0.5},
+		},
+		Replicates: 2,
+		Days:       90,
+		SHStart:    20,
+	}
+	scenarios := []core.WhatIf{
+		{Name: "sh-lifted-2w-early", PivotDay: 60, SHEndShift: -14},
+		{Name: "sh-extended-2w", PivotDay: 60, SHEndShift: 14},
+		{Name: "compliance-up-25pct", PivotDay: 60, ComplianceScale: 1.25},
+		{Name: "compliance-down-25pct", PivotDay: 60, ComplianceScale: 0.75},
+		{Name: "testing", PivotDay: 60, AddTesting: 0.2},
+		{Name: "tracing-d1", PivotDay: 60, AddTracing: 1, TraceDetectProb: 0.3},
+		{Name: "tracing-d2", PivotDay: 60, AddTracing: 2, TraceDetectProb: 0.3},
+		{Name: "test-and-trace", PivotDay: 60, AddTesting: 0.2, AddTracing: 1, TraceDetectProb: 0.3},
+	}
+	return cfg, scenarios
+}
+
+func whatIfBenchPipeline() *core.Pipeline {
+	return core.NewPipeline(606, core.WithScale(5000), core.WithParallelism(2))
+}
+
+// BenchmarkWhatIfFanout measures the N=8 what-if sweep three ways:
+// every scenario from scratch (the pre-snapshot baseline), branched from a
+// cold checkpoint store (prefix simulated once per call), and branched warm
+// (prefixes already cached from a previous call — the steady state of an
+// operator iterating on scenarios).
+func BenchmarkWhatIfFanout(b *testing.B) {
+	cfg, scenarios := whatIfBenchConfig()
+
+	b.Run("unshared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := whatIfBenchPipeline()
+			p.Network(cfg.State) // stage the network outside the timed region
+			b.StartTimer()
+			if _, err := p.RunWhatIfScenariosUnshared(b.Context(), cfg, scenarios); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("shared-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := whatIfBenchPipeline()
+			p.Network(cfg.State)
+			b.StartTimer()
+			if _, err := p.RunWhatIfScenarios(cfg, scenarios); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("shared-warm", func(b *testing.B) {
+		p := whatIfBenchPipeline()
+		if _, err := p.RunWhatIfScenarios(cfg, scenarios); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.RunWhatIfScenarios(cfg, scenarios); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// speedup runs the cold shared and unshared sweeps back to back on
+	// fresh pipelines and reports the acceptance metric directly: the
+	// wall-clock ratio unshared/shared (must stay >= 2).
+	b.Run("speedup", func(b *testing.B) {
+		var shared, unshared time.Duration
+		for i := 0; i < b.N; i++ {
+			pS := whatIfBenchPipeline()
+			pS.Network(cfg.State)
+			t0 := time.Now()
+			if _, err := pS.RunWhatIfScenarios(cfg, scenarios); err != nil {
+				b.Fatal(err)
+			}
+			shared += time.Since(t0)
+
+			pU := whatIfBenchPipeline()
+			pU.Network(cfg.State)
+			t1 := time.Now()
+			if _, err := pU.RunWhatIfScenariosUnshared(b.Context(), cfg, scenarios); err != nil {
+				b.Fatal(err)
+			}
+			unshared += time.Since(t1)
+		}
+		b.ReportMetric(unshared.Seconds()/shared.Seconds(), "speedup_x")
+	})
+}

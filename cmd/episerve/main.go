@@ -18,8 +18,10 @@
 //
 // /metrics serves the unified registry: service counters (submissions,
 // queue, cache, per-workflow latency histograms) plus the shared pipeline's
-// transfer-ledger and fault counters. -pprof additionally mounts
-// net/http/pprof under /debug/pprof/.
+// transfer-ledger and fault counters and the what-if snapshot store
+// (epi_snapshot_* hit/miss/eviction/occupancy series; budget set by
+// -snap-cache). -pprof additionally mounts net/http/pprof under
+// /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, queued
 // and in-flight jobs drain (bounded by -drain-timeout), then the process
@@ -48,6 +50,8 @@ func main() {
 	workers := flag.Int("workers", 2, "worker pool size")
 	queueCap := flag.Int("queue", 16, "job queue capacity (full queue returns 429)")
 	cacheCap := flag.Int("cache", 64, "result cache capacity (LRU entries)")
+	snapCacheMB := flag.Int64("snap-cache", core.DefaultSnapshotCacheBytes>>20,
+		"what-if snapshot cache budget in MB (0 disables cross-request prefix reuse)")
 	scale := flag.Int("scale", 20000, "population scale (1:N)")
 	seed := flag.Uint64("seed", 2020, "pipeline random seed")
 	parallelism := flag.Int("parallelism", 2, "per-simulation processing units")
@@ -55,7 +59,8 @@ func main() {
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	p := core.NewPipeline(*seed, core.WithScale(*scale), core.WithParallelism(*parallelism))
+	p := core.NewPipeline(*seed, core.WithScale(*scale), core.WithParallelism(*parallelism),
+		core.WithSnapshotCacheBytes(*snapCacheMB<<20))
 	reg := obs.NewRegistry()
 	p.RegisterMetrics(reg)
 	svc := scenario.NewService(scenario.Config{

@@ -1,0 +1,173 @@
+// Package castore provides a generic content-addressed LRU store. Keys are
+// content hashes (the caller addresses values by a SHA-256 of whatever
+// deterministically produced them), so a stored value is exactly what a
+// recomputation would yield and eviction is purely a capacity decision.
+//
+// The store bounds capacity two ways at once: by entry count and by the
+// total cost of resident values (typically bytes, via the cost function).
+// Either bound set to zero is unenforced. The scenario result cache and the
+// simulator snapshot store are both built on it.
+package castore
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Store is a content-addressed LRU map from string keys to values of type
+// V. It is safe for concurrent use.
+type Store[V any] struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxCost    int64
+	cost       func(V) int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	totalCost  int64
+	hits       int64
+	misses     int64
+	evictions  int64
+}
+
+type entry[V any] struct {
+	key  string
+	val  V
+	cost int64
+}
+
+// Option configures a Store.
+type Option[V any] func(*Store[V])
+
+// WithMaxEntries bounds the number of resident entries; n <= 0 leaves the
+// count unbounded.
+func WithMaxEntries[V any](n int) Option[V] {
+	return func(s *Store[V]) { s.maxEntries = n }
+}
+
+// WithMaxCost bounds the total cost of resident values as measured by the
+// cost function; c <= 0 leaves cost unbounded. A single value costing more
+// than the bound is admitted alone (and evicts everything else) rather than
+// thrashing.
+func WithMaxCost[V any](c int64, cost func(V) int64) Option[V] {
+	return func(s *Store[V]) { s.maxCost, s.cost = c, cost }
+}
+
+// New builds a store. With no options the store is unbounded — callers
+// should set at least one capacity bound.
+func New[V any](opts ...Option[V]) *Store[V] {
+	s := &Store[V]{ll: list.New(), items: map[string]*list.Element{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Get returns the value for key and records a hit. A lookup miss records
+// nothing — callers record a miss via RecordMiss only when they actually
+// compute the value, so deduplicated waiters do not skew the ratio.
+func (s *Store[V]) Get(key string) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	s.ll.MoveToFront(el)
+	s.hits++
+	return el.Value.(*entry[V]).val, true
+}
+
+// RecordMiss books one miss (a value that had to be computed).
+func (s *Store[V]) RecordMiss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+// Put inserts or refreshes a value, evicting least-recently-used entries
+// until both capacity bounds hold.
+func (s *Store[V]) Put(key string, val V) {
+	var c int64
+	if s.cost != nil {
+		c = s.cost(val)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry[V])
+		s.totalCost += c - e.cost
+		e.val, e.cost = val, c
+		s.ll.MoveToFront(el)
+		s.evict()
+		return
+	}
+	s.items[key] = s.ll.PushFront(&entry[V]{key: key, val: val, cost: c})
+	s.totalCost += c
+	s.evict()
+}
+
+// evict drops LRU entries until the bounds hold; callers hold mu. The most
+// recently used entry is never evicted, so one oversized value resides
+// alone instead of making the store unusable.
+func (s *Store[V]) evict() {
+	for s.ll.Len() > 1 &&
+		((s.maxEntries > 0 && s.ll.Len() > s.maxEntries) ||
+			(s.maxCost > 0 && s.totalCost > s.maxCost)) {
+		oldest := s.ll.Back()
+		e := oldest.Value.(*entry[V])
+		s.ll.Remove(oldest)
+		delete(s.items, e.key)
+		s.totalCost -= e.cost
+		s.evictions++
+	}
+}
+
+// Len returns the number of resident entries.
+func (s *Store[V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats is a point-in-time view of the store counters.
+type Stats struct {
+	Entries   int     `json:"entries"`
+	Cost      int64   `json:"cost"`
+	MaxCost   int64   `json:"max_cost,omitempty"`
+	Capacity  int     `json:"capacity,omitempty"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// Stats snapshots the counters. HitRatio is hits / (hits + misses), 0 when
+// nothing has been looked up.
+func (s *Store[V]) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Entries: s.ll.Len(), Cost: s.totalCost,
+		MaxCost: s.maxCost, Capacity: s.maxEntries,
+		Hits: s.hits, Misses: s.misses, Evictions: s.evictions,
+	}
+	if total := s.hits + s.misses; total > 0 {
+		st.HitRatio = float64(s.hits) / float64(total)
+	}
+	return st
+}
+
+// RegisterMetrics exposes the store counters on a metrics registry under
+// the given prefix (e.g. "epi_snapshot"): <prefix>_hits_total,
+// <prefix>_misses_total, <prefix>_evictions_total, <prefix>_entries,
+// <prefix>_cost_bytes.
+func (s *Store[V]) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_hits_total", func() float64 { return float64(s.Stats().Hits) })
+	reg.CounterFunc(prefix+"_misses_total", func() float64 { return float64(s.Stats().Misses) })
+	reg.CounterFunc(prefix+"_evictions_total", func() float64 { return float64(s.Stats().Evictions) })
+	reg.GaugeFunc(prefix+"_entries", func() float64 { return float64(s.Len()) })
+	reg.GaugeFunc(prefix+"_cost_bytes", func() float64 { return float64(s.Stats().Cost) })
+}

@@ -1,0 +1,167 @@
+package castore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestEntryCapEviction(t *testing.T) {
+	s := New(WithMaxEntries[int](3))
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d after cap-3 inserts, want 3", s.Len())
+	}
+	if _, ok := s.Get("k0"); ok {
+		t.Error("oldest entry k0 survived eviction")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d evicted, want retained", i)
+		}
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	s := New(WithMaxEntries[int](2))
+	s.Put("a", 1)
+	s.Put("b", 2)
+	s.Get("a")    // a becomes MRU
+	s.Put("c", 3) // must evict b
+	if _, ok := s.Get("a"); !ok {
+		t.Error("recently used entry a evicted")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("least recently used entry b retained")
+	}
+}
+
+func TestCostEviction(t *testing.T) {
+	cost := func(v string) int64 { return int64(len(v)) }
+	s := New(WithMaxCost(10, cost))
+	s.Put("a", "12345")
+	s.Put("b", "12345")
+	if got := s.Stats().Cost; got != 10 {
+		t.Fatalf("cost %d, want 10", got)
+	}
+	s.Put("c", "123") // budget exceeded: evict LRU a
+	if _, ok := s.Get("a"); ok {
+		t.Error("a retained past cost budget")
+	}
+	if got := s.Stats().Cost; got != 8 {
+		t.Errorf("cost %d after eviction, want 8", got)
+	}
+}
+
+// An oversized value must still be storable: the MRU entry is never
+// evicted, so a single value larger than the whole budget resides alone.
+func TestOversizedValueResidesAlone(t *testing.T) {
+	cost := func(v string) int64 { return int64(len(v)) }
+	s := New(WithMaxCost(4, cost))
+	s.Put("small", "ab")
+	s.Put("big", strings.Repeat("x", 100))
+	if _, ok := s.Get("big"); !ok {
+		t.Error("oversized value not retained")
+	}
+	if _, ok := s.Get("small"); ok {
+		t.Error("small value survived the oversized insert")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len %d, want 1", s.Len())
+	}
+}
+
+func TestPutRefreshUpdatesCost(t *testing.T) {
+	cost := func(v string) int64 { return int64(len(v)) }
+	s := New(WithMaxCost(100, cost))
+	s.Put("k", "1234")
+	s.Put("k", "12")
+	if got := s.Stats().Cost; got != 2 {
+		t.Errorf("cost %d after refresh, want 2", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len %d after refresh, want 1", s.Len())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New(WithMaxEntries[int](1))
+	s.Put("a", 1)
+	s.Get("a")                   // hit
+	if _, ok := s.Get("x"); ok { // automatic miss is NOT recorded
+		t.Fatal("phantom hit")
+	}
+	s.RecordMiss()
+	s.Put("b", 2) // evicts a
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v, want hits=1 misses=1 evictions=1 entries=1", st)
+	}
+	if st.HitRatio != 0.5 {
+		t.Errorf("hit ratio %g, want 0.5", st.HitRatio)
+	}
+}
+
+func TestUnboundedStore(t *testing.T) {
+	s := New[int]()
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if s.Len() != 1000 {
+		t.Errorf("unbounded store evicted: len %d", s.Len())
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	s := New(WithMaxEntries[int](2))
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg, "test_cache")
+	s.Put("a", 1)
+	s.Get("a")
+	s.RecordMiss()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"test_cache_hits_total 1",
+		"test_cache_misses_total 1",
+		"test_cache_entries 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentAccess exercises the store under the race detector: the
+// what-if fan-out hits the snapshot store from several branch workers at
+// once.
+func TestConcurrentAccess(t *testing.T) {
+	s := New(WithMaxCost(1<<10, func(v []byte) int64 { return int64(len(v)) }))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%32)
+				if _, ok := s.Get(key); !ok {
+					s.RecordMiss()
+					s.Put(key, make([]byte, 64))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("lost operations: hits %d + misses %d != 1600", st.Hits, st.Misses)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/castore"
 	"repro/internal/cluster"
 	"repro/internal/disease"
 	"repro/internal/faults"
@@ -51,6 +52,12 @@ type Pipeline struct {
 	networks map[string]*synthpop.Network
 	dbs      map[string]*popdb.Server
 	truth    map[string]*surveillance.StateTruth
+
+	// snapshots is the content-addressed checkpoint store of the what-if
+	// workflow: keys are SHA-256 of (pipeline fingerprint, prefix spec,
+	// tick); values are serialized simulator checkpoints shared by every
+	// scenario branching from the same history.
+	snapshots *castore.Store[*whatIfCheckpoint]
 }
 
 // Option mutates a Pipeline during construction.
@@ -64,6 +71,24 @@ func WithParallelism(n int) Option { return func(p *Pipeline) { p.Parallelism = 
 
 // WithDBConnBound sets the per-region DB connection bound.
 func WithDBConnBound(b int) Option { return func(p *Pipeline) { p.DBConnBound = b } }
+
+// WithSnapshotCacheBytes bounds the what-if checkpoint store. Zero or
+// negative disables snapshot caching entirely (every what-if run
+// re-simulates its shared prefix once per call, still sharing it across the
+// call's scenarios).
+func WithSnapshotCacheBytes(n int64) Option {
+	return func(p *Pipeline) {
+		if n <= 0 {
+			p.snapshots = nil
+			return
+		}
+		p.snapshots = castore.New(castore.WithMaxCost[*whatIfCheckpoint](n, checkpointCost))
+	}
+}
+
+// DefaultSnapshotCacheBytes bounds the checkpoint store when no option is
+// given (~256 MB of serialized simulator state).
+const DefaultSnapshotCacheBytes = int64(256 << 20)
 
 // NewPipeline builds a pipeline with the paper's site configuration:
 // Rivanna-like home cluster, Bridges-like remote cluster, 10pm–8am window.
@@ -81,6 +106,8 @@ func NewPipeline(seed uint64, opts ...Option) *Pipeline {
 		networks:      map[string]*synthpop.Network{},
 		dbs:           map[string]*popdb.Server{},
 		truth:         map[string]*surveillance.StateTruth{},
+		snapshots: castore.New(
+			castore.WithMaxCost[*whatIfCheckpoint](DefaultSnapshotCacheBytes, checkpointCost)),
 	}
 	for _, o := range opts {
 		o(p)
@@ -95,6 +122,26 @@ func NewPipeline(seed uint64, opts ...Option) *Pipeline {
 func (p *Pipeline) RegisterMetrics(reg *obs.Registry) {
 	transfer.RegisterMetrics(reg, p.Ledger)
 	p.FaultCounters.Register(reg)
+	if p.snapshots != nil {
+		p.snapshots.RegisterMetrics(reg, "epi_snapshot")
+	}
+}
+
+// Fingerprint identifies the pipeline parameters that shape simulation
+// results: two pipelines may share cached results or checkpoints only when
+// their fingerprints match.
+func (p *Pipeline) Fingerprint() string {
+	return fmt.Sprintf("seed=%d;scale=%d;par=%d;dbb=%d;nodes=%d;window=%g",
+		p.Seed, p.Scale, p.Parallelism, p.DBConnBound, p.Remote.Nodes, p.Window.Seconds())
+}
+
+// SnapshotStats reports the what-if checkpoint store counters (zero value
+// when snapshot caching is disabled).
+func (p *Pipeline) SnapshotStats() castore.Stats {
+	if p.snapshots == nil {
+		return castore.Stats{}
+	}
+	return p.snapshots.Stats()
 }
 
 // Network returns the cached contact network for a region, generating it on

@@ -2,19 +2,39 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"slices"
+	"sort"
+	"sync"
 
 	"repro/internal/disease"
 	"repro/internal/epihiper"
+	"repro/internal/obs"
 	"repro/internal/output"
+	"repro/internal/popdb"
+	"repro/internal/synthpop"
 )
 
 // WhatIf is a future scenario the prediction workflow layers on top of the
 // as-is calibrated configurations — "what if the stay-at-home order is
 // lifted earlier; what if the mitigation compliance rate increases; what
 // if testing and contact tracing are improved".
+//
+// Scenario semantics are counterfactual from a pivot date: history up to
+// PivotDay is the shared as-is baseline (same seeds, same baseline
+// intervention stack, common random numbers across scenarios), and the
+// scenario's modified stack takes over at the pivot with the baseline
+// stack's accumulated state handed across — a scenario can change the
+// future, never the past. The shared prefix is what the workflow simulates
+// once and snapshots; every scenario branches from the checkpoint.
 type WhatIf struct {
 	Name string
+	// PivotDay is the day the scenario's interventions take effect; days
+	// before it replay the as-is baseline. Zero or negative defaults to
+	// the prediction's SHStart.
+	PivotDay int
 	// SHEndShift moves the stay-at-home expiry by this many days
 	// (negative = lifted earlier).
 	SHEndShift int
@@ -35,6 +55,22 @@ func StandardWhatIfs() []WhatIf {
 		{Name: "compliance-up-25pct", ComplianceScale: 1.25},
 		{Name: "test-and-trace", AddTesting: 0.3, AddTracing: 1, TraceDetectProb: 0.4},
 	}
+}
+
+// pivot resolves the scenario's effective pivot day for a prediction
+// config: default SHStart, clamped into [1, Days].
+func (w WhatIf) pivot(cfg PredictionConfig) int {
+	d := w.PivotDay
+	if d <= 0 {
+		d = cfg.SHStart
+	}
+	if d < 1 {
+		d = 1
+	}
+	if d > cfg.Days {
+		d = cfg.Days
+	}
+	return d
 }
 
 // apply builds the scenario's intervention stack for one configuration.
@@ -80,18 +116,71 @@ type ScenarioOutcome struct {
 	Deaths    Forecast
 }
 
+// whatIfCheckpoint is one cached shared-prefix state: the serialized
+// simulator snapshot at a pivot tick, the partial Result up to it, and the
+// transition log to replay into each branch's aggregator. All three are
+// read-only once stored — branches deep-copy on use (RunSuffix clones the
+// Result; Restore fills branch-owned slabs; the log is only replayed).
+type whatIfCheckpoint struct {
+	tick int
+	snap []byte
+	res  *epihiper.Result
+	log  []output.Transition
+}
+
+// checkpointCost approximates a checkpoint's resident bytes for the
+// store's cost bound.
+func checkpointCost(cp *whatIfCheckpoint) int64 {
+	resBytes := int64(len(cp.res.Daily)) * int64(disease.NumStates) * 8
+	return int64(len(cp.snap)) + int64(len(cp.log))*20 + resBytes
+}
+
+// snapshotKey content-addresses a shared prefix: SHA-256 over the pipeline
+// fingerprint, the normalized prefix spec (everything that shapes the
+// pre-pivot simulation), and the pivot tick.
+func (p *Pipeline) snapshotKey(cfg PredictionConfig, pr Params, cell, rep, tick int) string {
+	spec := fmt.Sprintf("state=%s;days=%d;shstart=%d;shend=%d;cell=%d;rep=%d;tau=%g;symp=%g;shc=%g;vhic=%g",
+		cfg.State, cfg.Days, cfg.SHStart, cfg.SHEnd, cell, rep,
+		pr.TAU, pr.SYMP, pr.SHCompliance, pr.VHICompliance)
+	h := sha256.New()
+	h.Write([]byte(p.Fingerprint()))
+	h.Write([]byte{0})
+	h.Write([]byte(spec))
+	h.Write([]byte{0})
+	fmt.Fprintf(h, "tick=%d", tick)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // RunWhatIfScenarios simulates the expanded configurations and returns one
 // forecast per scenario, combined with the as-is predictions the caller
 // already holds. Each scenario runs every configuration with the given
-// replicates.
+// replicates; the shared pre-pivot prefix of each (cell, replicate) is
+// simulated once and every scenario branches from its snapshot.
 func (p *Pipeline) RunWhatIfScenarios(cfg PredictionConfig, scenarios []WhatIf) ([]*ScenarioOutcome, error) {
 	return p.RunWhatIfScenariosCtx(context.Background(), cfg, scenarios)
 }
 
-// RunWhatIfScenariosCtx is RunWhatIfScenarios under a context: the
-// replicate loop checks ctx before each simulation, so cancellation costs
-// at most one in-flight simulation.
+// RunWhatIfScenariosCtx is RunWhatIfScenarios under a context: work is
+// dispatched in simulation-sized units and the dispatcher checks ctx, so
+// cancellation costs at most the in-flight simulations.
 func (p *Pipeline) RunWhatIfScenariosCtx(ctx context.Context, cfg PredictionConfig, scenarios []WhatIf) ([]*ScenarioOutcome, error) {
+	return p.runWhatIf(ctx, cfg, scenarios, true)
+}
+
+// RunWhatIfScenariosUnshared runs the same analysis without prefix
+// sharing: every scenario re-simulates its pre-pivot history from scratch
+// (then swaps in the scenario stack at the pivot). Results are bit-identical
+// to the shared path — it exists as the equivalence oracle and the
+// before/after benchmark baseline.
+func (p *Pipeline) RunWhatIfScenariosUnshared(ctx context.Context, cfg PredictionConfig, scenarios []WhatIf) ([]*ScenarioOutcome, error) {
+	return p.runWhatIf(ctx, cfg, scenarios, false)
+}
+
+// whatIfWorkers bounds the branch fan-out (matching runJobs' job-level
+// parallelism; each simulation additionally uses p.Parallelism units).
+const whatIfWorkers = 4
+
+func (p *Pipeline) runWhatIf(ctx context.Context, cfg PredictionConfig, scenarios []WhatIf, share bool) ([]*ScenarioOutcome, error) {
 	if len(cfg.Configs) == 0 {
 		return nil, fmt.Errorf("core: what-if analysis needs calibrated configs")
 	}
@@ -110,6 +199,16 @@ func (p *Pipeline) RunWhatIfScenariosCtx(ctx context.Context, cfg PredictionConf
 	if cfg.SHEnd <= 0 {
 		cfg.SHEnd = cfg.Days
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ctx, sp := obs.StartSpan(ctx, "core.whatif",
+		obs.String("state", cfg.State),
+		obs.Int("scenarios", int64(len(scenarios))),
+		obs.Int("configs", int64(len(cfg.Configs))),
+		obs.Int("replicates", int64(cfg.Replicates)),
+		obs.Bool("prefix_shared", share))
+	defer sp.End()
 	net, err := p.Network(cfg.State)
 	if err != nil {
 		return nil, err
@@ -118,47 +217,175 @@ func (p *Pipeline) RunWhatIfScenariosCtx(ctx context.Context, cfg PredictionConf
 	if err != nil {
 		return nil, err
 	}
-	var out []*ScenarioOutcome
+	var seeds []epihiper.Seeding
+	for _, c := range topCounties(net, 1) {
+		seeds = append(seeds, epihiper.Seeding{CountyFIPS: c, Day: 0, Count: 5})
+	}
+
+	// The sorted unique pivot ticks every (cell, replicate) prefix walk
+	// must checkpoint.
+	pivotSet := map[int]bool{}
 	for _, sc := range scenarios {
-		var sims []*SimOutput
-		for ci, pr := range cfg.Configs {
-			scaled, ivs := sc.apply(pr, cfg.SHStart, cfg.SHEnd)
-			model, err := scaled.ApplyToModel(disease.COVID19())
-			if err != nil {
-				return nil, err
-			}
-			for rep := 0; rep < cfg.Replicates; rep++ {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+		pivotSet[sc.pivot(cfg)] = true
+	}
+	pivots := make([]int, 0, len(pivotSet))
+	for d := range pivotSet {
+		pivots = append(pivots, d)
+	}
+	sort.Ints(pivots)
+
+	reps := cfg.Replicates
+	type repJob struct{ cell, rep int }
+	repJobs := make([]repJob, 0, len(cfg.Configs)*reps)
+	for ci := range cfg.Configs {
+		for rep := 0; rep < reps; rep++ {
+			repJobs = append(repJobs, repJob{cell: ci, rep: rep})
+		}
+	}
+
+	// checkpoints[(cell, rep)][tick], pinned locally for the duration of
+	// the call so LRU eviction cannot drop a checkpoint between the prefix
+	// walk and the branch fan-out.
+	checkpoints := make([]map[int]*whatIfCheckpoint, len(repJobs))
+
+	runParallel := func(n int, f func(i int) error) error {
+		workers := whatIfWorkers
+		if workers > n {
+			workers = n
+		}
+		jobs := make(chan int)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					errs[i] = f(i)
 				}
-				job := SimJob{State: cfg.State, Cell: ci, Replicate: rep, Params: scaled, Days: cfg.Days}
-				var seeds []epihiper.Seeding
-				for _, c := range topCounties(net, 1) {
-					seeds = append(seeds, epihiper.Seeding{CountyFIPS: c, Day: 0, Count: 5})
-				}
-				agg := output.NewCountyAggregator(net, cfg.Days)
-				sim, err := epihiper.New(epihiper.Config{
-					Model: model, Network: net, Days: cfg.Days,
-					Parallelism: p.Parallelism,
-					Seed:        p.Seed ^ jobSeed(job) ^ hashName(sc.Name),
-					Seeds:       seeds, Interventions: ivs,
-					DB: db, Recorder: agg,
-				})
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run()
-				if err != nil {
-					return nil, err
-				}
-				sims = append(sims, &SimOutput{Job: job, Result: res, Agg: agg})
+			}()
+		}
+	dispatch:
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break dispatch
 			}
 		}
+		close(jobs)
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if share {
+		// Phase 1: walk each (cell, replicate)'s shared prefix once,
+		// checkpointing at every pivot tick not already cached.
+		err := runParallel(len(repJobs), func(i int) error {
+			j := repJobs[i]
+			cps, err := p.ensureCheckpoints(ctx, cfg, net, db, seeds, j.cell, j.rep, pivots)
+			if err != nil {
+				return err
+			}
+			checkpoints[i] = cps
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: fan the scenario branches out in parallel. Outputs land in
+	// (scenario, cell, replicate) order regardless of scheduling.
+	type branch struct{ si, ji int }
+	branches := make([]branch, 0, len(scenarios)*len(repJobs))
+	for si := range scenarios {
+		for ji := range repJobs {
+			branches = append(branches, branch{si: si, ji: ji})
+		}
+	}
+	sims := make([][]*SimOutput, len(scenarios))
+	for si := range sims {
+		sims[si] = make([]*SimOutput, len(repJobs))
+	}
+	err = runParallel(len(branches), func(i int) error {
+		b := branches[i]
+		sc := scenarios[b.si]
+		j := repJobs[b.ji]
+		pr := cfg.Configs[j.cell]
+		pivot := sc.pivot(cfg)
+		scaled, ivs := sc.apply(pr, cfg.SHStart, cfg.SHEnd)
+		model, err := scaled.ApplyToModel(disease.COVID19())
+		if err != nil {
+			return err
+		}
+		job := SimJob{State: cfg.State, Cell: j.cell, Replicate: j.rep, Params: scaled, Days: cfg.Days}
+		agg := output.NewCountyAggregator(net, cfg.Days)
+		simCfg := epihiper.Config{
+			Model: model, Network: net, Days: cfg.Days,
+			Parallelism: p.Parallelism,
+			Seed:        p.Seed ^ jobSeed(job),
+			Seeds:       seeds, Interventions: ivs,
+			DB: db, Recorder: agg,
+		}
+		var res *epihiper.Result
+		if share {
+			cp := checkpoints[b.ji][pivot]
+			if cp == nil {
+				return fmt.Errorf("core: missing checkpoint for cell %d rep %d tick %d", j.cell, j.rep, pivot)
+			}
+			for _, t := range cp.log {
+				agg.Record(int(t.Tick), t.PID, t.From, t.To, t.Infector)
+			}
+			sim, err := epihiper.NewFromSnapshot(simCfg, cp.snap)
+			if err != nil {
+				return err
+			}
+			res, err = sim.RunSuffix(cp.res)
+			if err != nil {
+				return err
+			}
+		} else {
+			// From-scratch oracle: baseline history to the pivot, then the
+			// scenario stack takes over with the state handed across — the
+			// exact computation the snapshot path shortcuts.
+			simCfg.Interventions = interventionsFor(pr, cfg.SHStart, cfg.SHEnd)
+			sim, err := epihiper.New(simCfg)
+			if err != nil {
+				return err
+			}
+			prefixRes, err := sim.RunPrefix(pivot)
+			if err != nil {
+				return err
+			}
+			sim.SwapInterventions(ivs)
+			res, err = sim.RunSuffix(prefixRes)
+			if err != nil {
+				return err
+			}
+		}
+		sims[b.si][b.ji] = &SimOutput{Job: job, Result: res, Agg: agg}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*ScenarioOutcome, 0, len(scenarios))
+	for si, sc := range scenarios {
 		so := &ScenarioOutcome{Scenario: sc}
-		so.Confirmed = ensembleBand(sims, cfg.Days, func(s *SimOutput) []float64 {
+		so.Confirmed = ensembleBand(sims[si], cfg.Days, func(s *SimOutput) []float64 {
 			return s.Agg.StateConfirmedCumulative()
 		})
-		so.Deaths = ensembleBand(sims, cfg.Days, func(s *SimOutput) []float64 {
+		so.Deaths = ensembleBand(sims[si], cfg.Days, func(s *SimOutput) []float64 {
 			return s.Agg.StateCumulative(disease.Dead)
 		})
 		out = append(out, so)
@@ -166,10 +393,90 @@ func (p *Pipeline) RunWhatIfScenariosCtx(ctx context.Context, cfg PredictionConf
 	return out, nil
 }
 
-func hashName(s string) uint64 {
-	h := uint64(1469598103934665603)
-	for _, c := range s {
-		h = (h ^ uint64(c)) * 1099511628211
+// ensureCheckpoints returns the shared-prefix checkpoints of one
+// (cell, replicate) at every pivot tick, simulating only the ticks the
+// content-addressed store does not already hold: the walk resumes from the
+// deepest cached checkpoint at or below the first missing tick and
+// checkpoints forward.
+func (p *Pipeline) ensureCheckpoints(ctx context.Context, cfg PredictionConfig,
+	net *synthpop.Network, db *popdb.Server, seeds []epihiper.Seeding, cell, rep int, pivots []int,
+) (map[int]*whatIfCheckpoint, error) {
+	pr := cfg.Configs[cell]
+	out := make(map[int]*whatIfCheckpoint, len(pivots))
+	var missing []int
+	for _, tick := range pivots {
+		key := p.snapshotKey(cfg, pr, cell, rep, tick)
+		if p.snapshots != nil {
+			if cp, ok := p.snapshots.Get(key); ok {
+				obs.Event(ctx, "snapshot.hit",
+					obs.Int("cell", int64(cell)), obs.Int("replicate", int64(rep)),
+					obs.Int("tick", int64(tick)), obs.String("key", key[:16]))
+				out[tick] = cp
+				continue
+			}
+			p.snapshots.RecordMiss()
+		}
+		obs.Event(ctx, "snapshot.miss",
+			obs.Int("cell", int64(cell)), obs.Int("replicate", int64(rep)),
+			obs.Int("tick", int64(tick)), obs.String("key", key[:16]))
+		missing = append(missing, tick)
 	}
-	return h
+	if len(missing) == 0 {
+		return out, nil
+	}
+	// Resume from the deepest cached checkpoint below the first gap.
+	var base *whatIfCheckpoint
+	for _, tick := range pivots {
+		if tick >= missing[0] {
+			break
+		}
+		if cp := out[tick]; cp != nil {
+			base = cp
+		}
+	}
+	model, err := pr.ApplyToModel(disease.COVID19())
+	if err != nil {
+		return nil, err
+	}
+	job := SimJob{State: cfg.State, Cell: cell, Replicate: rep, Params: pr, Days: cfg.Days}
+	log := &output.TransitionLog{}
+	simCfg := epihiper.Config{
+		Model: model, Network: net, Days: cfg.Days,
+		Parallelism:   p.Parallelism,
+		Seed:          p.Seed ^ jobSeed(job),
+		Seeds:         seeds,
+		Interventions: interventionsFor(pr, cfg.SHStart, cfg.SHEnd),
+		DB:            db, Recorder: log,
+	}
+	var sim *epihiper.Sim
+	var res *epihiper.Result
+	if base != nil {
+		log.Entries = slices.Clone(base.log)
+		sim, err = epihiper.NewFromSnapshot(simCfg, base.snap)
+		res = base.res
+	} else {
+		sim, err = epihiper.New(simCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, tick := range missing {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err = sim.RunSegment(res, tick)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := sim.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		cp := &whatIfCheckpoint{tick: tick, snap: snap, res: res, log: slices.Clone(log.Entries)}
+		out[tick] = cp
+		if p.snapshots != nil {
+			p.snapshots.Put(p.snapshotKey(cfg, pr, cell, rep, tick), cp)
+		}
+	}
+	return out, nil
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -110,5 +113,128 @@ func TestRunWhatIfValidation(t *testing.T) {
 		State: "VA", Configs: []Params{{TAU: 0.2, SYMP: 0.6}},
 	}, nil); err == nil {
 		t.Error("no scenarios accepted")
+	}
+}
+
+// TestWhatIfSharedMatchesUnshared is the workflow-level equivalence gate:
+// branching every scenario from the shared-prefix snapshot must produce
+// bit-identical forecasts to re-simulating each scenario's history from
+// scratch. The scenarios span three distinct pivot days so the test also
+// exercises the multi-checkpoint prefix walk.
+func TestWhatIfSharedMatchesUnshared(t *testing.T) {
+	p := testPipeline(77)
+	cfg := PredictionConfig{
+		State: "VA",
+		Configs: []Params{
+			{TAU: 0.24, SYMP: 0.65, SHCompliance: 0.5, VHICompliance: 0.5},
+			{TAU: 0.27, SYMP: 0.6, SHCompliance: 0.45, VHICompliance: 0.55},
+		},
+		Replicates: 2, Days: 40,
+	}
+	scenarios := []WhatIf{
+		{Name: "default-pivot", SHEndShift: -10}, // pivots at SHStart (15)
+		{Name: "early-pivot", PivotDay: 10, ComplianceScale: 1.4},
+		{Name: "late-pivot", PivotDay: 25, AddTesting: 0.2},
+	}
+	shared, err := p.RunWhatIfScenarios(cfg, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unshared, err := p.RunWhatIfScenariosUnshared(context.Background(), cfg, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != len(unshared) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(shared), len(unshared))
+	}
+	for i := range shared {
+		if !reflect.DeepEqual(shared[i], unshared[i]) {
+			t.Errorf("scenario %q: shared and unshared forecasts differ", shared[i].Scenario.Name)
+		}
+	}
+	if st := p.SnapshotStats(); st.Misses == 0 {
+		t.Error("shared run recorded no snapshot misses; the prefix walk never ran")
+	}
+}
+
+// TestWhatIfSnapshotCacheReuse: a second identical what-if call must serve
+// every prefix from the checkpoint store (hits, no new misses) and return
+// identical forecasts.
+func TestWhatIfSnapshotCacheReuse(t *testing.T) {
+	p := testPipeline(78)
+	cfg := PredictionConfig{
+		State:      "VA",
+		Configs:    []Params{{TAU: 0.25, SYMP: 0.6, SHCompliance: 0.5, VHICompliance: 0.5}},
+		Replicates: 2, Days: 35,
+	}
+	scenarios := []WhatIf{
+		{Name: "a", SHEndShift: -5},
+		{Name: "b", ComplianceScale: 1.3},
+	}
+	first, err := p.RunWhatIfScenarios(cfg, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := p.SnapshotStats()
+	if st1.Misses == 0 || st1.Entries == 0 {
+		t.Fatalf("first call should miss and populate the store: %+v", st1)
+	}
+	second, err := p.RunWhatIfScenarios(cfg, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := p.SnapshotStats()
+	if st2.Misses != st1.Misses {
+		t.Errorf("second call re-simulated prefixes: misses %d -> %d", st1.Misses, st2.Misses)
+	}
+	if st2.Hits <= st1.Hits {
+		t.Errorf("second call recorded no cache hits: %d -> %d", st1.Hits, st2.Hits)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached and fresh forecasts differ")
+	}
+}
+
+// TestWhatIfCacheDisabled: WithSnapshotCacheBytes(0) turns cross-call
+// caching off but the prefix is still shared within a call — and the
+// forecasts still match a caching pipeline's.
+func TestWhatIfCacheDisabled(t *testing.T) {
+	cfg := PredictionConfig{
+		State:      "VA",
+		Configs:    []Params{{TAU: 0.25, SYMP: 0.6, SHCompliance: 0.5, VHICompliance: 0.5}},
+		Replicates: 2, Days: 35,
+	}
+	scenarios := []WhatIf{{Name: "a", SHEndShift: -5}, {Name: "b", AddTesting: 0.15}}
+
+	nocache := NewPipeline(79, WithScale(40000), WithParallelism(2), WithSnapshotCacheBytes(0))
+	got, err := nocache.RunWhatIfScenarios(cfg, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := nocache.SnapshotStats(); st.Entries != 0 || st.Hits != 0 {
+		t.Errorf("disabled store has activity: %+v", st)
+	}
+	cached := NewPipeline(79, WithScale(40000), WithParallelism(2))
+	want, err := cached.RunWhatIfScenarios(cfg, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("cache-disabled forecasts differ from cached pipeline's")
+	}
+}
+
+// TestWhatIfCanceledContext: a pre-canceled context must abort before any
+// simulation work.
+func TestWhatIfCanceledContext(t *testing.T) {
+	p := testPipeline(80)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.RunWhatIfScenariosCtx(ctx, PredictionConfig{
+		State:   "VA",
+		Configs: []Params{{TAU: 0.25, SYMP: 0.6, SHCompliance: 0.5, VHICompliance: 0.5}},
+	}, StandardWhatIfs())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

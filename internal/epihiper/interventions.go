@@ -1,6 +1,8 @@
 package epihiper
 
 import (
+	"fmt"
+
 	"repro/internal/disease"
 	"repro/internal/stats"
 	"repro/internal/synthpop"
@@ -14,6 +16,20 @@ import (
 type Intervention interface {
 	Name() string
 	Step(s *Sim, day int, r *stats.RNG)
+}
+
+// InterventionState is implemented by interventions that carry mutable
+// state across ticks (a compliant set, a pulse phase). Snapshot serializes
+// the state of every implementing intervention under its Name; Restore and
+// SwapInterventions decode it into a matching intervention of the new
+// stack, so a branched run continues exactly where the checkpoint left off.
+type InterventionState interface {
+	Intervention
+	// EncodeState returns the mutable state as bytes.
+	EncodeState() []byte
+	// DecodeState replaces the mutable state from bytes produced by
+	// EncodeState.
+	DecodeState([]byte) error
 }
 
 // nonHomeContexts lists every context except home.
@@ -71,6 +87,19 @@ func (sh *StayAtHome) Name() string { return "SH" }
 // Compliant returns the IDs of persons complying with the order (valid
 // after StartDay has passed).
 func (sh *StayAtHome) Compliant() []int32 { return sh.compliant }
+
+// EncodeState implements InterventionState (the compliant set).
+func (sh *StayAtHome) EncodeState() []byte { return encodeI32s(sh.compliant) }
+
+// DecodeState implements InterventionState.
+func (sh *StayAtHome) DecodeState(b []byte) error {
+	v, err := decodeI32s(b)
+	if err != nil {
+		return err
+	}
+	sh.compliant = v
+	return nil
+}
 
 // Step implements Intervention.
 func (sh *StayAtHome) Step(s *Sim, day int, r *stats.RNG) {
@@ -177,11 +206,10 @@ func (ta *TestAndIsolate) Step(s *Sim, day int, r *stats.RNG) {
 	}
 	for _, ev := range s.TodayEvents() {
 		if ev.To == disease.Asymptomatic && r.Bool(ta.DailyDetectRate) {
-			// Detection lags onset by a 1–3 day test turnaround.
+			// Detection lags onset by a 1–3 day test turnaround. The typed
+			// schedule keeps the pending isolation snapshotable.
 			delay := 1 + r.Intn(3)
-			pid := ev.PID
-			until := day + delay + days
-			s.Schedule(day+delay, func(sim *Sim) { sim.Isolate(pid, until) })
+			s.ScheduleIsolate(day+delay, ev.PID, day+delay+days)
 		}
 	}
 }
@@ -237,6 +265,29 @@ func (ps *PulsingShutdown) Step(s *Sim, day int, r *stats.RNG) {
 	}
 	ps.active = true
 	s.AddDynamicMemory(int64(len(ps.compliant)) * perScheduledChangeBytes)
+}
+
+// EncodeState implements InterventionState (pulse phase + compliant set).
+func (ps *PulsingShutdown) EncodeState() []byte {
+	b := encodeI32s(ps.compliant)
+	if ps.active {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// DecodeState implements InterventionState.
+func (ps *PulsingShutdown) DecodeState(b []byte) error {
+	if len(b) < 1 {
+		return fmt.Errorf("epihiper: short PulsingShutdown state")
+	}
+	v, err := decodeI32s(b[:len(b)-1])
+	if err != nil {
+		return err
+	}
+	ps.compliant = v
+	ps.active = b[len(b)-1] != 0
+	return nil
 }
 
 func (ps *PulsingShutdown) release(s *Sim) {
@@ -370,6 +421,23 @@ func (ws *WeekendSchedule) Step(s *Sim, day int, r *stats.RNG) {
 		s.SetGlobalContext(synthpop.CtxReligion, dow == 6)
 	}
 	ws.weekdayApplied = !weekend
+}
+
+// EncodeState implements InterventionState.
+func (ws *WeekendSchedule) EncodeState() []byte {
+	if ws.weekdayApplied {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// DecodeState implements InterventionState.
+func (ws *WeekendSchedule) DecodeState(b []byte) error {
+	if len(b) != 1 {
+		return fmt.Errorf("epihiper: bad WeekendSchedule state length %d", len(b))
+	}
+	ws.weekdayApplied = b[0] != 0
+	return nil
 }
 
 // ---------------------------------------------------------------------------

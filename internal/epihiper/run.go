@@ -2,6 +2,7 @@ package epihiper
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"slices"
@@ -56,16 +57,80 @@ type propEntry struct {
 // Run executes the configured number of ticks and returns the summary.
 // It may be called once per Sim.
 func (s *Sim) Run() (*Result, error) {
-	res := &Result{
+	res := s.newResult()
+	s.runSpan(res, s.cfg.Days)
+	return res, nil
+}
+
+// RunPrefix executes ticks up to (excluding) stop and returns the partial
+// summary: daily rows [0, stop) are filled, the rest zero. The sim stays
+// live at day stop; Snapshot can checkpoint it and RunSuffix continue it.
+func (s *Sim) RunPrefix(stop int) (*Result, error) {
+	return s.RunSegment(nil, stop)
+}
+
+// RunSuffix continues a sim positioned mid-horizon (a RunPrefix survivor or
+// a snapshot restore) to the end of the horizon. The prefix result's rows
+// and totals are cloned into the returned summary, so Run on a fresh sim
+// and RunPrefix+RunSuffix produce bit-identical Results.
+func (s *Sim) RunSuffix(prefix *Result) (*Result, error) {
+	if prefix == nil {
+		return nil, fmt.Errorf("epihiper: suffix needs the prefix result")
+	}
+	return s.RunSegment(prefix, s.cfg.Days)
+}
+
+// RunSegment executes days [completed, stop) and returns the summary:
+// prefix (when non-nil) supplies the rows of the already-completed days and
+// is deep-copied, never mutated — a cached prefix result can seed many
+// branches. Segments compose: Run ≡ any chain of RunSegment calls ending at
+// the horizon, bit for bit.
+func (s *Sim) RunSegment(prefix *Result, stop int) (*Result, error) {
+	if stop < 0 || stop > s.cfg.Days {
+		return nil, fmt.Errorf("epihiper: segment stop %d outside [0, %d]", stop, s.cfg.Days)
+	}
+	if stop < s.ranTo {
+		return nil, fmt.Errorf("epihiper: segment stop %d before completed day %d", stop, s.ranTo)
+	}
+	var res *Result
+	if prefix == nil {
+		res = s.newResult()
+	} else {
+		if prefix.Days != s.cfg.Days {
+			return nil, fmt.Errorf("epihiper: prefix result horizon %d != sim horizon %d", prefix.Days, s.cfg.Days)
+		}
+		res = prefix.clone()
+	}
+	s.runSpan(res, stop)
+	return res, nil
+}
+
+func (s *Sim) newResult() *Result {
+	return &Result{
 		Days:    s.cfg.Days,
 		Daily:   make([][disease.NumStates]int32, s.cfg.Days),
 		Current: make([][disease.NumStates]int32, s.cfg.Days),
 	}
+}
+
+// clone deep-copies the summary so a suffix run can extend it without
+// mutating the (possibly shared, possibly cached) prefix rows.
+func (r *Result) clone() *Result {
+	c := *r
+	c.Daily = slices.Clone(r.Daily)
+	c.Current = slices.Clone(r.Current)
+	return &c
+}
+
+// runSpan executes days [s.ranTo, stop), accumulating into res.
+func (s *Sim) runSpan(res *Result, stop int) {
 	nParts := len(s.parts)
 	exposuresPer := make([][]exposure, nParts)
-	s.memTrace = make([]int64, 0, s.cfg.Days)
+	if s.memTrace == nil {
+		s.memTrace = make([]int64, 0, s.cfg.Days)
+	}
 
-	// Persistent worker pool: the workers live for the whole run and
+	// Persistent worker pool: the workers live for the whole span and
 	// receive one partition index per tick, replacing the per-day
 	// goroutine spawn of the reference kernel. Each worker owns one
 	// scratch buffer, reused across partitions and ticks. The s.day write
@@ -94,7 +159,7 @@ func (s *Sim) Run() (*Result, error) {
 	}
 	var soloScratch []propEntry
 
-	for day := 0; day < s.cfg.Days; day++ {
+	for day := s.ranTo; day < stop; day++ {
 		s.day = day
 		// Day 0 keeps the seeding events recorded during construction.
 		if day > 0 {
@@ -170,7 +235,7 @@ func (s *Sim) Run() (*Result, error) {
 			res.PeakMemoryBytes = mem
 		}
 	}
-	return res, nil
+	s.ranTo = stop
 }
 
 // tickUpkeep applies the day-driven changes to the kernel's cached tables
@@ -228,7 +293,7 @@ func (s *Sim) runScheduled(day int) {
 	s.scheduled = remaining
 	s.dynamicBytes -= int64(len(due)) * perScheduledChangeBytes
 	for _, a := range due {
-		a.fn(s)
+		a.run(s)
 	}
 }
 

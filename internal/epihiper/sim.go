@@ -136,9 +136,13 @@ type Sim struct {
 	// state (Table V), read and written by intervention triggers.
 	Vars map[string]float64
 
-	parts   []synthpop.Partition
-	ivRNG   *stats.RNG
-	permBuf []int32 // scratch for interventions sampling target sets
+	parts []synthpop.Partition
+	ivRNG *stats.RNG
+
+	// ranTo is the number of completed days: RunPrefix/RunSuffix segment the
+	// run at day boundaries and resume from here; Run is the single segment
+	// [0, Days).
+	ranTo int
 
 	// Bookkeeping for memory accounting and summaries.
 	currentByState [disease.NumStates]int
@@ -205,9 +209,44 @@ type TransitionEvent struct {
 	Infector int32
 }
 
+// scheduledAction is one queued state change. Actions created by the
+// simulator's own machinery (delayed seeding, test-and-isolate detections)
+// are typed so they can travel with snapshots; Schedule's arbitrary
+// closures remain supported but make the sim unsnapshotable while one is
+// pending.
 type scheduledAction struct {
-	day int
-	fn  func(s *Sim)
+	day   int
+	kind  uint8
+	pids  []int32      // opSeedPersons: persons to expose if susceptible
+	pid   int32        // opIsolate
+	until int32        // opIsolate
+	fn    func(s *Sim) // opOpaque
+}
+
+// Scheduled-action kinds. opOpaque is an arbitrary closure and cannot be
+// serialized; the typed kinds round-trip through Snapshot/Restore.
+const (
+	opOpaque uint8 = iota
+	opSeedPersons
+	opIsolate
+)
+
+// run applies the action. Typed kinds reproduce exactly the closures they
+// replaced: seeding exposes the listed persons (still susceptible) at the
+// action's scheduled day; isolation confines one person until a fixed day.
+func (a *scheduledAction) run(s *Sim) {
+	switch a.kind {
+	case opSeedPersons:
+		for _, pid := range a.pids {
+			if s.model.IsSusceptible(s.health[pid]) {
+				s.infect(pid, NoInfector, a.day)
+			}
+		}
+	case opIsolate:
+		s.Isolate(a.pid, int(a.until))
+	default:
+		a.fn(s)
+	}
 }
 
 const allContexts = uint8(1<<synthpop.NumContexts) - 1
@@ -215,6 +254,21 @@ const homeOnlyMask = uint8(1) << uint8(synthpop.CtxHome)
 
 // New validates the configuration and builds an initialized simulation.
 func New(cfg Config) (*Sim, error) {
+	s, err := newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.applySeeding(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// newSim builds the simulation slabs without applying the configured
+// seeding. New seeds immediately; NewFromSnapshot instead overwrites the
+// fresh state with the checkpointed one (the snapshot already contains the
+// seeding's effects, so seeding again would double-infect).
+func newSim(cfg Config) (*Sim, error) {
 	if cfg.Model == nil || cfg.Network == nil {
 		return nil, fmt.Errorf("epihiper: model and network are required")
 	}
@@ -282,10 +336,6 @@ func New(cfg Config) (*Sim, error) {
 	// an O(n) adjacency walk.
 	halfEdges := s.csr.Offsets[n]
 	s.staticBytes = int64(n)*32 + halfEdges*16
-
-	if err := s.applySeeding(); err != nil {
-		return nil, err
-	}
 	return s, nil
 }
 
@@ -348,14 +398,7 @@ func (s *Sim) applySeeding() error {
 				s.infect(pid, NoInfector, 0)
 			}
 		} else {
-			cs := chosen
-			s.Schedule(day, func(sim *Sim) {
-				for _, pid := range cs {
-					if sim.model.IsSusceptible(sim.health[pid]) {
-						sim.infect(pid, NoInfector, day)
-					}
-				}
-			})
+			s.scheduleOp(scheduledAction{day: day, kind: opSeedPersons, pids: chosen})
 		}
 	}
 	return nil
@@ -543,9 +586,22 @@ func (s *Sim) SetInfectivity(pid int32, v float64) {
 
 // Schedule queues an action to run at the start of the given day. The
 // paper's action ensembles "delay the operation to a later point in the
-// simulation"; the queue length feeds the memory model.
+// simulation"; the queue length feeds the memory model. Closure actions are
+// opaque to Snapshot — a sim with one pending cannot be checkpointed; the
+// typed ScheduleIsolate is preferred where it fits.
 func (s *Sim) Schedule(day int, fn func(*Sim)) {
-	s.scheduled = append(s.scheduled, scheduledAction{day: day, fn: fn})
+	s.scheduleOp(scheduledAction{day: day, kind: opOpaque, fn: fn})
+}
+
+// ScheduleIsolate queues an isolation of pid until untilDay (exclusive) to
+// be applied at the start of the given day. Unlike Schedule's closures the
+// queued action is typed, so it survives Snapshot/Restore.
+func (s *Sim) ScheduleIsolate(day int, pid int32, untilDay int) {
+	s.scheduleOp(scheduledAction{day: day, kind: opIsolate, pid: pid, until: int32(untilDay)})
+}
+
+func (s *Sim) scheduleOp(a scheduledAction) {
+	s.scheduled = append(s.scheduled, a)
 	s.dynamicBytes += perScheduledChangeBytes
 }
 

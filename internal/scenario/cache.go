@@ -1,26 +1,16 @@
 package scenario
 
 import (
-	"container/list"
-	"sync"
+	"repro/internal/castore"
 )
 
-// Cache is a content-addressed LRU result cache. Keys are spec hashes;
-// because the pipeline's seeded RNG makes runs deterministic, a cached
-// result is exactly what a re-run would produce.
+// Cache is the service's content-addressed LRU result cache, built on the
+// generic castore.Store. Keys are spec hashes; because the pipeline's
+// seeded RNG makes runs deterministic, a cached result is exactly what a
+// re-run would produce.
 type Cache struct {
-	mu        sync.Mutex
-	cap       int
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
-}
-
-type cacheEntry struct {
-	key string
-	res *Result
+	cap   int
+	store *castore.Store[*Result]
 }
 
 // NewCache builds an LRU cache holding up to capacity results; capacity
@@ -29,56 +19,25 @@ func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &Cache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+	return &Cache{cap: capacity, store: castore.New(castore.WithMaxEntries[*Result](capacity))}
 }
 
 // Get returns the cached result for key and records a hit. A lookup miss
 // records nothing — the service records a miss only when it actually
 // schedules a run, so singleflight attaches do not skew the ratio.
 func (c *Cache) Get(key string) (*Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		return nil, false
-	}
-	c.ll.MoveToFront(el)
-	c.hits++
-	return el.Value.(*cacheEntry).res, true
+	return c.store.Get(key)
 }
 
 // RecordMiss books one cache miss (a spec that had to be computed).
-func (c *Cache) RecordMiss() {
-	c.mu.Lock()
-	c.misses++
-	c.mu.Unlock()
-}
+func (c *Cache) RecordMiss() { c.store.RecordMiss() }
 
 // Put inserts or refreshes a result, evicting the least recently used
 // entry when over capacity.
-func (c *Cache) Put(key string, res *Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
-	}
-}
+func (c *Cache) Put(key string, res *Result) { c.store.Put(key, res) }
 
 // Len returns the number of cached results.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
+func (c *Cache) Len() int { return c.store.Len() }
 
 // CacheStats is a point-in-time view of the cache counters.
 type CacheStats struct {
@@ -93,14 +52,10 @@ type CacheStats struct {
 // Stats snapshots the counters. HitRatio is hits / (hits + misses), 0 when
 // nothing has been looked up.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := CacheStats{
-		Entries: c.ll.Len(), Capacity: c.cap,
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	s := c.store.Stats()
+	return CacheStats{
+		Entries: s.Entries, Capacity: c.cap,
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		HitRatio: s.HitRatio,
 	}
-	if total := c.hits + c.misses; total > 0 {
-		s.HitRatio = float64(c.hits) / float64(total)
-	}
-	return s
 }

@@ -54,7 +54,11 @@ func (ps ParamSpec) toCore() core.Params {
 // WhatIfSpec is a future scenario layered on the calibrated configurations
 // (core.WhatIf on the wire).
 type WhatIfSpec struct {
-	Name            string  `json:"name"`
+	Name string `json:"name"`
+	// PivotDay is the day the scenario diverges from the shared as-is
+	// baseline; 0 takes the workflow default (SHStart). Scenarios sharing
+	// a pivot share one simulated prefix per (config, replicate).
+	PivotDay        int     `json:"pivot_day,omitempty"`
 	SHEndShift      int     `json:"sh_end_shift,omitempty"`
 	ComplianceScale float64 `json:"compliance_scale,omitempty"`
 	AddTesting      float64 `json:"add_testing,omitempty"`
@@ -64,7 +68,8 @@ type WhatIfSpec struct {
 
 func (ws WhatIfSpec) toCore() core.WhatIf {
 	return core.WhatIf{
-		Name: ws.Name, SHEndShift: ws.SHEndShift, ComplianceScale: ws.ComplianceScale,
+		Name: ws.Name, PivotDay: ws.PivotDay,
+		SHEndShift: ws.SHEndShift, ComplianceScale: ws.ComplianceScale,
 		AddTesting: ws.AddTesting, AddTracing: ws.AddTracing, TraceDetectProb: ws.TraceDetectProb,
 	}
 }
@@ -201,7 +206,8 @@ func (s Spec) normalizeForecast() (Spec, error) {
 		if len(s.WhatIfs) == 0 {
 			for _, w := range core.StandardWhatIfs() {
 				s.WhatIfs = append(s.WhatIfs, WhatIfSpec{
-					Name: w.Name, SHEndShift: w.SHEndShift, ComplianceScale: w.ComplianceScale,
+					Name: w.Name, PivotDay: w.PivotDay,
+					SHEndShift: w.SHEndShift, ComplianceScale: w.ComplianceScale,
 					AddTesting: w.AddTesting, AddTracing: w.AddTracing, TraceDetectProb: w.TraceDetectProb,
 				})
 			}
@@ -218,6 +224,9 @@ func (s Spec) normalizeForecast() (Spec, error) {
 				return s, fmt.Errorf("scenario: duplicate what-if name %q", w.Name)
 			}
 			seen[w.Name] = true
+			if w.PivotDay < 0 || w.PivotDay > s.Days {
+				return s, fmt.Errorf("scenario: what-if %q pivot day %d outside [0, %d]", w.Name, w.PivotDay, s.Days)
+			}
 		}
 	default:
 		s.WhatIfs = nil
@@ -293,8 +302,7 @@ func (s Spec) Hash(fingerprint string) (string, error) {
 
 // Fingerprint identifies the pipeline parameters that shape results:
 // different seeds, scales or site configurations must not share cache
-// entries.
-func Fingerprint(p *core.Pipeline) string {
-	return fmt.Sprintf("seed=%d;scale=%d;par=%d;dbb=%d;nodes=%d;window=%g",
-		p.Seed, p.Scale, p.Parallelism, p.DBConnBound, p.Remote.Nodes, p.Window.Seconds())
-}
+// entries. It delegates to the pipeline's own fingerprint, which also keys
+// the what-if snapshot store — the result cache and the checkpoint cache
+// agree on what "the same pipeline" means.
+func Fingerprint(p *core.Pipeline) string { return p.Fingerprint() }

@@ -9,7 +9,10 @@
 // passes BigCrush.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // RNG is a deterministic pseudo-random number generator (xoshiro256**).
 // It is not safe for concurrent use; use Split to derive independent
@@ -97,6 +100,21 @@ func (r *RNG) Uint64() uint64 {
 // workers: split once per worker in a deterministic order.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
+}
+
+// State returns the generator's internal xoshiro256** state, positioned
+// mid-stream. Together with SetState it lets simulation checkpoints resume
+// an RNG exactly where it left off.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously obtained from State. The all-zero
+// state is invalid for xoshiro and is rejected.
+func (r *RNG) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("stats: all-zero RNG state")
+	}
+	r.s = s
+	return nil
 }
 
 // Float64 returns a uniform value in [0, 1).
