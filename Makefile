@@ -14,6 +14,7 @@ tier1:
 	$(GO) test ./...
 	$(GO) test -race ./internal/mcmc ./internal/calib ./internal/obs
 	$(GO) test -race ./internal/castore
+	$(GO) test -race ./internal/fidelity
 	$(GO) test -race -run 'Snapshot|WhatIf' ./internal/epihiper ./internal/core
 
 race:
@@ -36,10 +37,12 @@ fmt-check:
 # (replicate fan-out with tracing off vs on — budget ≤3% — plus the obs
 # primitive costs), and the what-if fan-out sweep (N=8 scenarios unshared
 # vs branched from shared-prefix snapshots, cold and warm cache, with the
-# speedup_x acceptance metric), with -benchmem so the zero-allocation
-# claims are part of the artifact. CI uploads the file as a non-gating
-# artifact; it is not committed.
-BENCH_JSON ?= BENCH_PR6.json
+# speedup_x acceptance metric), and the fidelity ladder (emulator hit vs
+# corrected metapop vs escalate-to-ABM, with speedup_x = ABM over emulator
+# ns/op — the serving tier's ≥100× acceptance metric), with -benchmem so
+# the zero-allocation claims are part of the artifact. CI uploads the file
+# as a non-gating artifact; it is not committed.
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7TopRuntimeVsSize$$' -benchmem . > bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWhatIfFanout$$' -benchmem . >> bench_raw.txt
@@ -47,6 +50,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkLogLik|BenchmarkSample' -benchmem ./internal/calib >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkReplicatesObs' -benchmem ./internal/epihiper >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkSpanStartEnd|BenchmarkWritePrometheus' -benchmem ./internal/obs >> bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkFidelityLadder' -benchmem ./internal/fidelity >> bench_raw.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench_raw.txt
 	@rm -f bench_raw.txt
 
@@ -56,5 +60,6 @@ fuzz:
 	$(GO) test ./internal/sched -fuzz FuzzRelaxedColoring -fuzztime 10s
 	$(GO) test ./internal/sched -fuzz FuzzScheduleRoundTrip -fuzztime 10s
 	$(GO) test ./internal/epihiper -fuzz FuzzSnapshotRoundTrip -fuzztime 10s
+	$(GO) test ./internal/fidelity -fuzz FuzzFidelityRoute -fuzztime 10s
 
 check: fmt-check vet tier1 race

@@ -13,8 +13,16 @@
 //	curl -s -X POST localhost:8080/scenarios -d '{"workflow":"prediction","state":"VA","days":60}'
 //	curl -s localhost:8080/scenarios/<id>
 //	curl -s localhost:8080/scenarios/<id>/result
+//	curl -s localhost:8080/readyz           # readiness incl. fidelity tier warm state
 //	curl -s localhost:8080/metrics          # Prometheus text (unified registry)
 //	curl -s localhost:8080/metrics.json     # legacy JSON snapshot
+//
+// With -fidelity (default on), specs may carry "fidelity": "auto" and a
+// "max_uncertainty" budget: the service then answers from a GP emulator or
+// the corrected county metapop when they can meet the budget, running the
+// full ABM only otherwise (and folding every ABM answer back into the
+// emulator's training set). "fidelity": "abm" forces the exact path;
+// omitting the field keeps the legacy behavior byte-for-byte.
 //
 // /metrics serves the unified registry: service counters (submissions,
 // queue, cache, per-workflow latency histograms) plus the shared pipeline's
@@ -41,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fidelity"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 )
@@ -57,15 +66,28 @@ func main() {
 	parallelism := flag.Int("parallelism", 2, "per-simulation processing units")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	enableFidelity := flag.Bool("fidelity", true,
+		"enable the fidelity ladder (specs with a fidelity field route through emulator/metapop/abm tiers)")
+	fidelityMinFit := flag.Int("fidelity-min-fit", 8, "ABM design points before a family's emulator fits")
+	fidelityCacheMB := flag.Int64("fidelity-cache", 64, "fidelity training-set cache budget in MB")
 	flag.Parse()
 
 	p := core.NewPipeline(*seed, core.WithScale(*scale), core.WithParallelism(*parallelism),
 		core.WithSnapshotCacheBytes(*snapCacheMB<<20))
 	reg := obs.NewRegistry()
 	p.RegisterMetrics(reg)
+	var router *fidelity.Router
+	if *enableFidelity {
+		router = fidelity.NewRouter(fidelity.Config{
+			Fingerprint: p.Fingerprint(), Scale: *scale,
+			MinFit: *fidelityMinFit, MaxBytes: *fidelityCacheMB << 20,
+		})
+		router.RegisterMetrics(reg)
+		defer router.Close()
+	}
 	svc := scenario.NewService(scenario.Config{
 		Pipeline: p, Workers: *workers, QueueCap: *queueCap, CacheCap: *cacheCap,
-		Registry: reg,
+		Registry: reg, Fidelity: router,
 	})
 	var handler http.Handler = scenario.NewServer(svc)
 	if *enablePprof {

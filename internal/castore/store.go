@@ -125,6 +125,32 @@ func (s *Store[V]) evict() {
 	}
 }
 
+// Keys lists the resident keys, most recently used first. Unlike Get it
+// touches neither the LRU order nor the hit counters, so status scans do
+// not distort eviction or hit-ratio accounting.
+func (s *Store[V]) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[V]).key)
+	}
+	return out
+}
+
+// Peek returns the value for key without touching LRU order or the hit
+// counters.
+func (s *Store[V]) Peek(key string) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return el.Value.(*entry[V]).val, true
+}
+
 // Len returns the number of resident entries.
 func (s *Store[V]) Len() int {
 	s.mu.Lock()
@@ -163,11 +189,13 @@ func (s *Store[V]) Stats() Stats {
 // RegisterMetrics exposes the store counters on a metrics registry under
 // the given prefix (e.g. "epi_snapshot"): <prefix>_hits_total,
 // <prefix>_misses_total, <prefix>_evictions_total, <prefix>_entries,
-// <prefix>_cost_bytes.
+// <prefix>_cost_bytes, and <prefix>_hit_ratio (hits / lookups, so clients
+// need not divide counters themselves).
 func (s *Store[V]) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_hits_total", func() float64 { return float64(s.Stats().Hits) })
 	reg.CounterFunc(prefix+"_misses_total", func() float64 { return float64(s.Stats().Misses) })
 	reg.CounterFunc(prefix+"_evictions_total", func() float64 { return float64(s.Stats().Evictions) })
 	reg.GaugeFunc(prefix+"_entries", func() float64 { return float64(s.Len()) })
 	reg.GaugeFunc(prefix+"_cost_bytes", func() float64 { return float64(s.Stats().Cost) })
+	reg.GaugeFunc(prefix+"_hit_ratio", func() float64 { return s.Stats().HitRatio })
 }

@@ -114,6 +114,10 @@ type ScenarioOutcome struct {
 	Scenario  WhatIf
 	Confirmed Forecast
 	Deaths    Forecast
+	// Sims lists the per-(cell, replicate) outputs behind the bands, in job
+	// order — consumers (e.g. the fidelity router's training harvest) can
+	// regroup them by Job.Cell.
+	Sims []*SimOutput
 }
 
 // whatIfCheckpoint is one cached shared-prefix state: the serialized
@@ -388,6 +392,7 @@ func (p *Pipeline) runWhatIf(ctx context.Context, cfg PredictionConfig, scenario
 		so.Deaths = ensembleBand(sims[si], cfg.Days, func(s *SimOutput) []float64 {
 			return s.Agg.StateCumulative(disease.Dead)
 		})
+		so.Sims = sims[si]
 		out = append(out, so)
 	}
 	return out, nil

@@ -1,0 +1,104 @@
+package fidelity
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkFidelityLadder measures the three rungs of the ladder on the
+// same trained family: an emulator hit (the serving fast path), a forced
+// corrected-metapop answer, and an escalation that falls through to the
+// real ABM. The EscalateABM rung reports speedup_x — ABM ns/op over
+// emulator ns/op — which is the PR's headline acceptance metric (the
+// emulator must be ≥100× cheaper than the simulator it stands in for).
+func BenchmarkFidelityLadder(b *testing.B) {
+	const scale = 5000
+	ctx := context.Background()
+	p := core.NewPipeline(2020, core.WithScale(scale), core.WithParallelism(2))
+	r := NewRouter(Config{Fingerprint: p.Fingerprint(), Scale: scale, MinFit: 5, MaxStale: 1, Sync: true})
+	defer r.Close()
+
+	base := Request{
+		Workflow: WorkflowPrediction, State: "VA",
+		Days: 40, SHStart: 15, SHEnd: 40, Replicates: 2,
+		Mode: TierAuto, MaxUncertainty: 5,
+	}
+	taus := []float64{0.16, 0.18, 0.20, 0.22, 0.24}
+	shcs := []float64{0.30, 0.70, 0.50, 0.35, 0.65}
+	for i := range taus {
+		req := base
+		req.Configs = []core.Params{{TAU: taus[i], SYMP: 0.65, SHCompliance: shcs[i], VHICompliance: 0.5}}
+		out, err := p.RunPredictionWorkflowCtx(ctx, core.PredictionConfig{
+			State: req.State, Replicates: req.Replicates, Days: req.Days,
+			SHStart: req.SHStart, SHEnd: req.SHEnd, Configs: req.Configs,
+		})
+		if err != nil {
+			b.Fatalf("training run %d: %v", i, err)
+		}
+		if err := r.ObservePrediction(ctx, req, out); err != nil {
+			b.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	if r.FittedFamilies() != 1 {
+		b.Fatal("emulator did not fit during warmup")
+	}
+	held := base
+	held.Configs = []core.Params{{TAU: 0.19, SYMP: 0.65, SHCompliance: 0.55, VHICompliance: 0.5}}
+
+	var emuNs float64
+	b.Run("EmulatorHit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := r.Route(ctx, held)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d.Tier != TierEmulator {
+				b.Fatalf("held-out query served by %s (%s)", d.Tier, d.Reason)
+			}
+		}
+		emuNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+
+	b.Run("Metapop", func(b *testing.B) {
+		req := held
+		req.Mode = TierMetapop
+		for i := 0; i < b.N; i++ {
+			d, err := r.Route(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d.Tier != TierMetapop {
+				b.Fatalf("forced metapop served by %s", d.Tier)
+			}
+		}
+	})
+
+	b.Run("EscalateABM", func(b *testing.B) {
+		req := held
+		req.MaxUncertainty = 1e-9 // impossible budget: every query escalates
+		for i := 0; i < b.N; i++ {
+			d, err := r.Route(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d.Tier != TierABM {
+				b.Fatalf("impossible budget served by %s", d.Tier)
+			}
+			// The escalated decision is executed by the caller on the exact
+			// path; that execution dominates and is what the speedup is
+			// measured against.
+			if _, err := p.RunPredictionWorkflowCtx(ctx, core.PredictionConfig{
+				State: req.State, Replicates: req.Replicates, Days: req.Days,
+				SHStart: req.SHStart, SHEnd: req.SHEnd, Configs: req.Configs,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		abmNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		if emuNs > 0 {
+			b.ReportMetric(abmNs/emuNs, "speedup_x")
+		}
+	})
+}

@@ -1,0 +1,452 @@
+package fidelity
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gp"
+	"repro/internal/obs"
+)
+
+func TestParseTier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Tier
+		ok   bool
+	}{
+		{"auto", TierAuto, true},
+		{"AUTO", TierAuto, true},
+		{"  Emulator ", TierEmulator, true},
+		{"metapop", TierMetapop, true},
+		{"ABM", TierABM, true},
+		{"", "", false},
+		{"gp", "", false},
+		{"abm2", "", false},
+	}
+	for _, c := range cases {
+		got, err := ParseTier(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseTier(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseTier(%q) accepted; want error", c.in)
+		}
+	}
+}
+
+func validRequest() Request {
+	return Request{
+		Workflow: WorkflowPrediction, State: "VA",
+		Days: 40, SHStart: 15, SHEnd: 40, Replicates: 2,
+		Configs: []core.Params{{TAU: 0.2, SYMP: 0.65, SHCompliance: 0.5, VHICompliance: 0.5}},
+		Mode:    TierAuto,
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	if err := validRequest().Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	mutate := map[string]func(*Request){
+		"bad workflow": func(r *Request) { r.Workflow = "night" },
+		"empty state":  func(r *Request) { r.State = "" },
+		"zero days":    func(r *Request) { r.Days = 0 },
+		"no configs":   func(r *Request) { r.Configs = nil },
+		"nan budget":   func(r *Request) { r.MaxUncertainty = math.NaN() },
+		"inf budget":   func(r *Request) { r.MaxUncertainty = math.Inf(1) },
+		"neg budget":   func(r *Request) { r.MaxUncertainty = -0.1 },
+		"bad mode":     func(r *Request) { r.Mode = "turbo" },
+		"whatif no stack": func(r *Request) {
+			r.Workflow = WorkflowWhatIf
+			r.WhatIfs = nil
+		},
+	}
+	for name, f := range mutate {
+		r := validRequest()
+		f(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted; want error", name)
+		}
+	}
+}
+
+func TestFamilyKey(t *testing.T) {
+	a := validRequest()
+	b := validRequest()
+	// Configs do not key the family — the emulator generalizes over them.
+	b.Configs = []core.Params{{TAU: 0.9, SYMP: 0.1}}
+	if a.FamilyKey("fp") != b.FamilyKey("fp") {
+		t.Errorf("configs must not change the family key")
+	}
+	// Mode and budget route, they do not key.
+	b = validRequest()
+	b.Mode, b.MaxUncertainty = TierABM, 0.5
+	if a.FamilyKey("fp") != b.FamilyKey("fp") {
+		t.Errorf("mode/budget must not change the family key")
+	}
+	// Everything shape-defining does key.
+	for name, f := range map[string]func(*Request){
+		"days":     func(r *Request) { r.Days = 41 },
+		"state":    func(r *Request) { r.State = "RI" },
+		"shstart":  func(r *Request) { r.SHStart = 16 },
+		"shend":    func(r *Request) { r.SHEnd = 41 },
+		"reps":     func(r *Request) { r.Replicates = 3 },
+		"workflow": func(r *Request) { r.Workflow = WorkflowWhatIf },
+	} {
+		b = validRequest()
+		f(&b)
+		if a.FamilyKey("fp") == b.FamilyKey("fp") {
+			t.Errorf("%s must change the family key", name)
+		}
+	}
+	if a.FamilyKey("fp") == a.FamilyKey("fp2") {
+		t.Errorf("pipeline fingerprint must salt the family key")
+	}
+}
+
+func TestColdAutoEscalates(t *testing.T) {
+	r := NewRouter(Config{Fingerprint: "fp", Scale: 40000, Sync: true})
+	d, err := r.Route(context.Background(), validRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tier != TierABM {
+		t.Fatalf("cold auto route picked %s, want abm", d.Tier)
+	}
+	if d.Answer != nil {
+		t.Fatalf("abm decision must not carry an answer")
+	}
+	if !strings.Contains(d.Reason, "no training data") {
+		t.Errorf("reason %q should name the missing training data", d.Reason)
+	}
+	if d.Budget != DefaultBudget {
+		t.Errorf("budget %v, want default %v", d.Budget, DefaultBudget)
+	}
+}
+
+func TestForcedABMBypasses(t *testing.T) {
+	r := NewRouter(Config{Fingerprint: "fp", Scale: 40000, Sync: true})
+	req := validRequest()
+	req.Mode = TierABM
+	d, err := r.Route(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tier != TierABM || d.Reason != "forced" || d.Answer != nil || d.Uncertainty != 0 {
+		t.Fatalf("forced abm decision = %+v", d)
+	}
+}
+
+func TestForcedEmulatorUnfittedErrors(t *testing.T) {
+	r := NewRouter(Config{Fingerprint: "fp", Scale: 40000, Sync: true})
+	req := validRequest()
+	req.Mode = TierEmulator
+	if _, err := r.Route(context.Background(), req); err == nil {
+		t.Fatal("forced emulator with no fit must error")
+	}
+}
+
+func TestForcedMetapopServesUncorrected(t *testing.T) {
+	r := NewRouter(Config{Fingerprint: "fp", Scale: 40000, Sync: true})
+	req := validRequest()
+	req.Mode = TierMetapop
+	d, err := r.Route(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tier != TierMetapop || d.Answer == nil {
+		t.Fatalf("forced metapop decision = %+v", d)
+	}
+	if d.Uncertainty != uncorrectedError {
+		t.Errorf("uncorrected metapop uncertainty %v, want %v", d.Uncertainty, uncorrectedError)
+	}
+	checkAnswerShape(t, d.Answer, req)
+}
+
+func checkAnswerShape(t *testing.T, ans *Answer, req Request) {
+	t.Helper()
+	names := req.seriesNames()
+	if len(ans.Series) != len(names) {
+		t.Fatalf("answer has %d series, want %d", len(ans.Series), len(names))
+	}
+	for _, name := range names {
+		f, ok := ans.Series[name]
+		if !ok {
+			t.Fatalf("missing series %q", name)
+		}
+		if len(f.Median) != req.Days || len(f.Lo) != req.Days || len(f.Hi) != req.Days {
+			t.Fatalf("series %q length %d/%d/%d, want %d", name, len(f.Median), len(f.Lo), len(f.Hi), req.Days)
+		}
+		for d := 0; d < req.Days; d++ {
+			if math.IsNaN(f.Median[d]) || f.Median[d] < 0 {
+				t.Fatalf("series %q day %d median %v", name, d, f.Median[d])
+			}
+			if f.Lo[d] > f.Median[d]+1e-9 || f.Hi[d] < f.Median[d]-1e-9 {
+				t.Fatalf("series %q day %d band [%v, %v] excludes median %v",
+					name, d, f.Lo[d], f.Hi[d], f.Median[d])
+			}
+		}
+	}
+}
+
+// trainRouter runs the ABM prediction workflow at len(taus) design points
+// and feeds each outcome to the router, returning the shared pipeline.
+func trainRouter(t *testing.T, r *Router, p *core.Pipeline, base Request, taus, shcs []float64) {
+	t.Helper()
+	ctx := context.Background()
+	for i := range taus {
+		req := base
+		req.Configs = []core.Params{{TAU: taus[i], SYMP: 0.65, SHCompliance: shcs[i], VHICompliance: 0.5}}
+		out, err := p.RunPredictionWorkflowCtx(ctx, core.PredictionConfig{
+			State: req.State, Replicates: req.Replicates, Days: req.Days,
+			SHStart: req.SHStart, SHEnd: req.SHEnd, Configs: req.Configs,
+		})
+		if err != nil {
+			t.Fatalf("training run %d: %v", i, err)
+		}
+		if err := r.ObservePrediction(ctx, req, out); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+}
+
+func TestLadderTrainsAndServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains on real ABM runs")
+	}
+	p := core.NewPipeline(2020, core.WithScale(40000), core.WithParallelism(2))
+	r := NewRouter(Config{Fingerprint: p.Fingerprint(), Scale: 40000, MinFit: 5, MaxStale: 1, Sync: true})
+	base := validRequest()
+
+	taus := []float64{0.16, 0.18, 0.20, 0.22, 0.24}
+	shcs := []float64{0.30, 0.70, 0.50, 0.35, 0.65}
+	trainRouter(t, r, p, base, taus, shcs)
+
+	// Held-out point inside the trained region, generous budget: the
+	// emulator must serve.
+	req := base
+	req.Configs = []core.Params{{TAU: 0.19, SYMP: 0.65, SHCompliance: 0.55, VHICompliance: 0.5}}
+	req.MaxUncertainty = 2.0
+	d, err := r.Route(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tier != TierEmulator {
+		t.Fatalf("in-region query picked %s (%s), want emulator", d.Tier, d.Reason)
+	}
+	if d.Uncertainty <= 0 || d.Uncertainty > req.MaxUncertainty {
+		t.Fatalf("served uncertainty %v outside (0, %v]", d.Uncertainty, req.MaxUncertainty)
+	}
+	checkAnswerShape(t, d.Answer, req)
+
+	// Outside the trained region the emulator must refuse.
+	out := req
+	out.Configs = []core.Params{{TAU: 0.5, SYMP: 0.65, SHCompliance: 0.5, VHICompliance: 0.5}}
+	d, err = r.Route(context.Background(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tier == TierEmulator {
+		t.Fatalf("out-of-region query must not be served by the emulator (reason %q)", d.Reason)
+	}
+	if !strings.Contains(d.Reason, "outside trained region") {
+		t.Errorf("reason %q should name the region violation", d.Reason)
+	}
+
+	// An impossible budget escalates all the way to the ABM.
+	tight := req
+	tight.MaxUncertainty = 1e-9
+	d, err = r.Route(context.Background(), tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tier != TierABM {
+		t.Fatalf("budget 1e-9 served by %s (uncertainty %v), want abm", d.Tier, d.Uncertainty)
+	}
+
+	// The corrected metapop serves under a loose budget once trained; its
+	// declared error must come from the learned correction, not the
+	// uncorrected constant.
+	forced := req
+	forced.Mode = TierMetapop
+	d, err = r.Route(context.Background(), forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Uncertainty >= uncorrectedError {
+		t.Errorf("corrected metapop uncertainty %v not below uncorrected %v", d.Uncertainty, uncorrectedError)
+	}
+	checkAnswerShape(t, d.Answer, forced)
+
+	// Status reflects the warm family.
+	st := r.Status()
+	if !st[string(TierEmulator)].Ready || st[string(TierEmulator)].Families != 1 {
+		t.Errorf("emulator tier state %+v, want ready with 1 family", st[string(TierEmulator)])
+	}
+	if r.FittedFamilies() != 1 {
+		t.Errorf("FittedFamilies = %d, want 1", r.FittedFamilies())
+	}
+}
+
+func TestObserveDedupsDesignPoints(t *testing.T) {
+	f := newFamily("k", validRequest())
+	o := observation{theta: [paramDim]float64{1, 2, 3, 4}}
+	f.add(o)
+	f.add(o)
+	if n := f.size(); n != 1 {
+		t.Fatalf("duplicate design point stored twice: size %d", n)
+	}
+	o2 := o
+	o2.theta[0] = 1.5
+	f.add(o2)
+	if n := f.size(); n != 2 {
+		t.Fatalf("distinct design point deduped: size %d", n)
+	}
+}
+
+func TestObservationCap(t *testing.T) {
+	f := newFamily("k", validRequest())
+	for i := 0; i < maxObservations+10; i++ {
+		f.add(observation{theta: [paramDim]float64{float64(i), 0, 0, 0}})
+	}
+	if n := f.size(); n != maxObservations {
+		t.Fatalf("size %d, want cap %d", n, maxObservations)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.obs[0].theta[0] != 10 {
+		t.Errorf("oldest surviving theta %v, want 10 (oldest dropped first)", f.obs[0].theta[0])
+	}
+	if len(f.seen) != maxObservations {
+		t.Errorf("seen index has %d entries, want %d", len(f.seen), maxObservations)
+	}
+}
+
+func TestRegionMargin(t *testing.T) {
+	e := &emulator{lo: [paramDim]float64{0.1, 0.6, 0.3, 0.5}, hi: [paramDim]float64{0.3, 0.7, 0.7, 0.5}}
+	in := [paramDim]float64{0.2, 0.65, 0.5, 0.5}
+	if !e.inRegion(in) {
+		t.Errorf("interior point rejected")
+	}
+	// Within the 5% margin.
+	if !e.inRegion([paramDim]float64{0.305, 0.65, 0.5, 0.5}) {
+		t.Errorf("margin point rejected")
+	}
+	if e.inRegion([paramDim]float64{0.35, 0.65, 0.5, 0.5}) {
+		t.Errorf("far point accepted")
+	}
+	// Degenerate dimension: only exact (within epsilon) values pass.
+	if e.inRegion([paramDim]float64{0.2, 0.65, 0.5, 0.6}) {
+		t.Errorf("degenerate-dim excursion accepted")
+	}
+}
+
+func TestRouterMetricsRegistered(t *testing.T) {
+	r := NewRouter(Config{Fingerprint: "fp", Scale: 40000, Sync: true})
+	reg := obs.NewRegistry()
+	r.RegisterMetrics(reg)
+	if _, err := r.Route(context.Background(), validRequest()); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`epi_fidelity_served_total{tier="abm"} 1`,
+		"epi_fidelity_escalations_total 1",
+		"epi_fidelity_families 1",
+		"epi_fidelity_fitted_families 0",
+		"epi_fidelity_train_hit_ratio",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRouterConcurrency exercises concurrent Route/Observe/Status under the
+// race detector. Synthetic observations keep it fast.
+func TestRouterConcurrency(t *testing.T) {
+	r := NewRouter(Config{Fingerprint: "fp", Scale: 40000, MinFit: 4, MaxStale: 1})
+	base := validRequest()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				req := base
+				req.Configs = []core.Params{{TAU: 0.15 + 0.01*float64(g*8+i), SYMP: 0.65, SHCompliance: 0.5, VHICompliance: 0.5}}
+				if _, err := r.Route(context.Background(), req); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := r.observe(context.Background(), req, func(int) (map[string][]float64, float64) {
+					return syntheticCurves(req), 0.01
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Status()
+			}
+		}(g)
+	}
+	wg.Wait()
+	r.Close()
+	if got := int(r.m.observations.value()); got != 32 {
+		t.Errorf("observations %d, want 32", got)
+	}
+}
+
+// syntheticCurves fabricates a plausible log1p curve set for concurrency
+// tests without running any simulator.
+func syntheticCurves(req Request) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, name := range req.seriesNames() {
+		c := make([]float64, req.Days)
+		for d := range c {
+			c[d] = math.Log1p(float64(d) * req.Configs[0].TAU * 100)
+		}
+		out[name] = c
+	}
+	return out
+}
+
+func TestCurvesFromSims(t *testing.T) {
+	// Verified indirectly in the ladder test; here check the grouping math
+	// with a stub extractor over fake outputs is stable under cell order.
+	days := 3
+	mk := func(cell int, vals ...float64) *core.SimOutput {
+		return &core.SimOutput{Job: core.SimJob{Cell: cell}, RawBytes: int64(vals[0])}
+	}
+	sims := []*core.SimOutput{mk(1, 8), mk(0, 2), mk(1, 4), mk(0, 6)}
+	got := curvesFromSims(sims, days, func(s *core.SimOutput) []float64 {
+		v := float64(s.RawBytes)
+		return []float64{v, v, v}
+	})
+	if len(got) != 2 {
+		t.Fatalf("got %d cells, want 2", len(got))
+	}
+	wantCell0 := (math.Log1p(2) + math.Log1p(6)) / 2
+	if math.Abs(got[0][0]-wantCell0) > 1e-12 {
+		t.Errorf("cell 0 mean %v, want %v", got[0][0], wantCell0)
+	}
+	for cell, c := range got {
+		if len(c) != days {
+			t.Errorf("cell %d curve length %d, want %d", cell, len(c), days)
+		}
+	}
+}
+
+func TestLOOInflationAtLeastOne(t *testing.T) {
+	// An empty MultiGP must still return the neutral factor 1.
+	if got := looInflation(&gp.MultiGP{}, 10); got != 1 {
+		t.Errorf("inflation %v, want 1", got)
+	}
+}

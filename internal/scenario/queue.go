@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fidelity"
 	"repro/internal/obs"
 )
 
@@ -191,6 +193,11 @@ type Config struct {
 	// jobs, cache size/hit-ratio, per-workflow latency histograms). Nil
 	// allocates a private registry, reachable via Service.Registry().
 	Registry *obs.Registry
+	// Fidelity enables the fidelity ladder: specs carrying a fidelity field
+	// route through it; everything else takes the exact path. Nil disables
+	// the ladder (fidelity specs then fall through to the legacy runner,
+	// which ignores the field).
+	Fidelity *fidelity.Router
 }
 
 // Service is the scenario engine: admission control, content-addressed
@@ -202,6 +209,8 @@ type Service struct {
 	metrics     *Metrics
 	workers     int
 	queueCap    int
+	fidelity    *fidelity.Router
+	workersUp   atomic.Int64
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -241,9 +250,14 @@ func NewService(cfg Config) *Service {
 		registry: map[string]*Job{},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.fidelity = cfg.Fidelity
 	s.runner = cfg.Runner
 	if s.runner == nil {
-		s.runner = PipelineRunner(cfg.Pipeline)
+		if cfg.Fidelity != nil {
+			s.runner = FidelityPipelineRunner(cfg.Pipeline, cfg.Fidelity)
+		} else {
+			s.runner = PipelineRunner(cfg.Pipeline)
+		}
 	}
 	s.fingerprint = cfg.Fingerprint
 	if s.fingerprint == "" && cfg.Pipeline != nil {
@@ -305,6 +319,8 @@ func (s *Service) registerGauges() {
 	reg.CounterFunc("epi_scenario_cache_evictions_total", func() float64 { return float64(s.cache.Stats().Evictions) })
 	reg.Help("epi_scenario_cache_hit_ratio", "hits over lookups, 0 when idle")
 	reg.GaugeFunc("epi_scenario_cache_hit_ratio", func() float64 { return s.cache.Stats().HitRatio })
+	reg.Help("epi_result_cache_hit_ratio", "result-cache hits over lookups (alias of epi_scenario_cache_hit_ratio)")
+	reg.GaugeFunc("epi_result_cache_hit_ratio", func() float64 { return s.cache.Stats().HitRatio })
 }
 
 // Submit normalizes, hashes and admits a spec. The caller holds one
@@ -426,9 +442,44 @@ func (s *Service) retainLocked(j *Job) {
 
 func (s *Service) worker() {
 	defer s.wg.Done()
+	s.workersUp.Add(1)
 	for j := range s.queue {
 		s.runJob(j)
 	}
+}
+
+// Readiness is the /readyz payload: overall readiness plus the state of
+// each serving layer.
+type Readiness struct {
+	Ready      bool `json:"ready"`
+	WorkersUp  int  `json:"workers_up"`
+	WorkersSet int  `json:"workers_configured"`
+	Draining   bool `json:"draining"`
+	// Fidelity reports per-tier warm state when the ladder is enabled
+	// (absent otherwise). The emulator tier is warm once at least one
+	// config family has a fitted emulator.
+	Fidelity map[string]fidelity.TierState `json:"fidelity,omitempty"`
+}
+
+// Readiness reports whether the service can usefully serve: the worker pool
+// is up, the service is not draining, and — when the fidelity ladder is
+// enabled — at least one emulator is fitted (before that, every auto-routed
+// query escalates to a full simulation, which is availability but not the
+// latency contract /readyz guards).
+func (s *Service) Readiness() Readiness {
+	r := Readiness{
+		WorkersUp:  int(s.workersUp.Load()),
+		WorkersSet: s.workers,
+		Draining:   s.Draining(),
+	}
+	r.Ready = r.WorkersUp >= r.WorkersSet && !r.Draining
+	if s.fidelity != nil {
+		r.Fidelity = s.fidelity.Status()
+		if !r.Fidelity[string(fidelity.TierEmulator)].Ready {
+			r.Ready = false
+		}
+	}
+	return r
 }
 
 func (s *Service) runJob(j *Job) {

@@ -59,4 +59,12 @@ type Result struct {
 	// ElapsedSeconds is the wall time of the computation that produced the
 	// result (cache hits keep the original run's time).
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+
+	// Tier / TierReason / Uncertainty report the fidelity ladder's routing:
+	// which rung answered, why, and its 95% relative error estimate. All
+	// empty on the legacy path (fidelity unset), keeping those payloads
+	// byte-identical to pre-ladder responses.
+	Tier        string  `json:"tier,omitempty"`
+	TierReason  string  `json:"tier_reason,omitempty"`
+	Uncertainty float64 `json:"uncertainty,omitempty"`
 }

@@ -45,23 +45,35 @@ func runPrediction(ctx context.Context, p *core.Pipeline, spec Spec) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	return predictionResult(out), nil
+}
+
+func predictionResult(out *core.PredictionOutcome) *Result {
 	return &Result{Prediction: &PredictionResult{
 		Confirmed:    bandFrom(out.Confirmed),
 		Hospitalized: bandFrom(out.Hospitalized),
 		Deaths:       bandFrom(out.Deaths),
 		Counties:     len(out.CountyMedian),
-	}}, nil
+	}}
 }
 
-func runWhatIf(ctx context.Context, p *core.Pipeline, spec Spec) (*Result, error) {
+func whatIfScenarios(spec Spec) []core.WhatIf {
 	var scenarios []core.WhatIf
 	for _, w := range spec.WhatIfs {
 		scenarios = append(scenarios, w.toCore())
 	}
-	outs, err := p.RunWhatIfScenariosCtx(ctx, predictionConfig(spec), scenarios)
+	return scenarios
+}
+
+func runWhatIf(ctx context.Context, p *core.Pipeline, spec Spec) (*Result, error) {
+	outs, err := p.RunWhatIfScenariosCtx(ctx, predictionConfig(spec), whatIfScenarios(spec))
 	if err != nil {
 		return nil, err
 	}
+	return whatIfResult(outs), nil
+}
+
+func whatIfResult(outs []*core.ScenarioOutcome) *Result {
 	res := &Result{}
 	for _, o := range outs {
 		res.Scenarios = append(res.Scenarios, ScenarioResult{
@@ -70,7 +82,7 @@ func runWhatIf(ctx context.Context, p *core.Pipeline, spec Spec) (*Result, error
 			Deaths:    bandFrom(o.Deaths),
 		})
 	}
-	return res, nil
+	return res
 }
 
 func runNight(ctx context.Context, p *core.Pipeline, spec Spec) (*Result, error) {

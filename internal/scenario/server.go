@@ -13,6 +13,7 @@ import (
 //	GET    /scenarios/{id}/result fetch the result when done
 //	DELETE /scenarios/{id}        cancel a queued or running job
 //	GET    /healthz               liveness
+//	GET    /readyz                readiness (workers up; fidelity tiers warm)
 //	GET    /metrics               queue / cache / latency snapshot
 //
 // Submit responses carry the spec's content address as the job ID, so
@@ -30,6 +31,7 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /scenarios/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /scenarios/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return s
@@ -161,6 +163,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: a live
+// process may still be warming up (workers not started, no emulator fitted
+// yet under fidelity serving). The body always carries the per-layer state
+// so operators can see which gate is holding readiness back.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	r := s.svc.Readiness()
+	code := http.StatusOK
+	if !r.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, r)
 }
 
 // handleMetrics serves the unified registry in Prometheus text exposition;

@@ -13,9 +13,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fidelity"
 	"repro/internal/synthpop"
 )
 
@@ -129,6 +131,16 @@ type Spec struct {
 	WhatIfs []WhatIfSpec `json:"whatifs,omitempty"`
 	// Night parameterizes the night workflow.
 	Night *NightSpec `json:"night,omitempty"`
+
+	// Fidelity selects the serving tier: "" (legacy exact ABM path, the
+	// default), auto, emulator, metapop, or abm. New fields stay at the end
+	// of the struct so legacy specs keep their canonical JSON byte-for-byte
+	// (and therefore their content hashes).
+	Fidelity string `json:"fidelity,omitempty"`
+	// MaxUncertainty is the fidelity=auto escalation budget: the maximum
+	// acceptable 95% relative error of a surrogate answer. Defaults to 0.1
+	// under fidelity=auto; meaningless (and cleared) otherwise.
+	MaxUncertainty float64 `json:"max_uncertainty,omitempty"`
 }
 
 // defaultConfigs is the spread cmd/predict uses when no posterior is given.
@@ -231,12 +243,37 @@ func (s Spec) normalizeForecast() (Spec, error) {
 	default:
 		s.WhatIfs = nil
 	}
+	return s.normalizeFidelity()
+}
+
+// normalizeFidelity canonicalizes the serving-tier fields: tier names are
+// case-insensitive on the wire, the auto tier defaults its budget, and the
+// budget is cleared wherever it cannot influence routing (so specs that
+// mean the same run hash the same).
+func (s Spec) normalizeFidelity() (Spec, error) {
+	s.Fidelity = strings.ToLower(strings.TrimSpace(s.Fidelity))
+	if math.IsNaN(s.MaxUncertainty) || math.IsInf(s.MaxUncertainty, 0) || s.MaxUncertainty < 0 {
+		return s, fmt.Errorf("scenario: bad max_uncertainty %v", s.MaxUncertainty)
+	}
+	switch s.Fidelity {
+	case "":
+		s.MaxUncertainty = 0
+	case string(fidelity.TierAuto):
+		if s.MaxUncertainty == 0 {
+			s.MaxUncertainty = fidelity.DefaultBudget
+		}
+	case string(fidelity.TierEmulator), string(fidelity.TierMetapop), string(fidelity.TierABM):
+		s.MaxUncertainty = 0
+	default:
+		return s, fmt.Errorf("scenario: unknown fidelity %q (want auto | emulator | metapop | abm)", s.Fidelity)
+	}
 	return s, nil
 }
 
 func (s Spec) normalizeNight() (Spec, error) {
 	s.State, s.Days, s.Replicates, s.SHStart, s.SHEnd = "", 0, 0, 0, 0
 	s.Configs, s.WhatIfs = nil, nil
+	s.Fidelity, s.MaxUncertainty = "", 0
 	n := NightSpec{Family: "prediction", Heuristic: "FFDT-DC", Seed: 1}
 	if s.Night != nil {
 		n = *s.Night
