@@ -15,7 +15,7 @@ tier1:
 	$(GO) test -race ./internal/mcmc ./internal/calib ./internal/obs
 	$(GO) test -race ./internal/castore
 	$(GO) test -race ./internal/fidelity
-	$(GO) test -race -run 'Snapshot|WhatIf' ./internal/epihiper ./internal/core
+	$(GO) test -race -run 'Snapshot|WhatIf|Shard|Determinism' ./internal/epihiper ./internal/core
 
 race:
 	$(GO) test -race ./...
@@ -37,12 +37,13 @@ fmt-check:
 # (replicate fan-out with tracing off vs on — budget ≤3% — plus the obs
 # primitive costs), and the what-if fan-out sweep (N=8 scenarios unshared
 # vs branched from shared-prefix snapshots, cold and warm cache, with the
-# speedup_x acceptance metric), and the fidelity ladder (emulator hit vs
+# speedup_x acceptance metric), the fidelity ladder (emulator hit vs
 # corrected metapop vs escalate-to-ABM, with speedup_x = ABM over emulator
-# ns/op — the serving tier's ≥100× acceptance metric), with -benchmem so
-# the zero-allocation claims are part of the artifact. CI uploads the file
-# as a non-gating artifact; it is not committed.
-BENCH_JSON ?= BENCH_PR7.json
+# ns/op — the serving tier's ≥100× acceptance metric), and the shard
+# scaling curve (full kernel at 1/2/4/8 shards over the golden network),
+# with -benchmem so the zero-allocation claims are part of the artifact.
+# CI uploads the file as a non-gating artifact; it is not committed.
+BENCH_JSON ?= BENCH_PR8.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7TopRuntimeVsSize$$' -benchmem . > bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWhatIfFanout$$' -benchmem . >> bench_raw.txt
@@ -51,6 +52,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkReplicatesObs' -benchmem ./internal/epihiper >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkCounterInc|BenchmarkHistogramObserve|BenchmarkSpanStartEnd|BenchmarkWritePrometheus' -benchmem ./internal/obs >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkFidelityLadder' -benchmem ./internal/fidelity >> bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkShardScaling' -benchmem ./internal/epihiper >> bench_raw.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench_raw.txt
 	@rm -f bench_raw.txt
 

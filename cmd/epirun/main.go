@@ -37,7 +37,8 @@ func main() {
 	shStart := flag.Int("sh-start", 15, "stay-at-home start day")
 	scale := flag.Int("scale", 5000, "population scale (1:N)")
 	seed := flag.Uint64("seed", 42, "random seed")
-	par := flag.Int("par", 4, "processing units (partitions)")
+	par := flag.Int("par", 4, "processing units (partitions); superseded by -shards when set")
+	shards := flag.Int("shards", 0, "shard processing units, each owning a disjoint node range (0 = -par, or GOMAXPROCS when -par is 0)")
 	outDir := flag.String("out", "", "output directory (omit to skip files)")
 	configPath := flag.String("config", "", "JSON simulation configuration (overrides the individual flags; see internal/epihiper JSONConfig)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
@@ -88,6 +89,20 @@ func main() {
 		if jsonCfg.Parallelism > 0 {
 			*par = jsonCfg.Parallelism
 		}
+		if jsonCfg.Shards > 0 && *shards == 0 {
+			*shards = jsonCfg.Shards
+		}
+	}
+
+	// The shard count is the parallelism: each shard owns its node range
+	// and runs every phase of the tick. -shards (or the config's "shards")
+	// wins; -par is the legacy spelling; with neither, use every core.
+	effShards := *shards
+	if effShards <= 0 {
+		effShards = *par
+	}
+	if effShards <= 0 {
+		effShards = runtime.GOMAXPROCS(0)
 	}
 
 	st, err := synthpop.StateByCode(*state)
@@ -145,6 +160,11 @@ func main() {
 		}
 	}
 	simCfg.Recorder = epihiper.MultiRecorder{logRec, agg}
+	simCfg.Parallelism = effShards
+	reg := obs.NewRegistry()
+	if *metricsDump != "" {
+		simCfg.Metrics = reg
+	}
 	sim, err := epihiper.New(simCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -156,7 +176,7 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("\nsimulated %d days in %v (%d processing units)\n", *days, elapsed, *par)
+	fmt.Printf("\nsimulated %d days in %v (%d shards)\n", *days, elapsed, sim.ShardCount())
 	fmt.Printf("  total infections: %d (attack rate %.1f%%)\n",
 		res.TotalInfections, 100*epihiper.Attack(res, net.NumNodes()))
 	conf := agg.StateConfirmedCumulative()
@@ -197,7 +217,6 @@ func main() {
 	}
 
 	if *metricsDump != "" {
-		reg := obs.NewRegistry()
 		reg.Help("epi_run_seconds", "wall-clock of the simulation run")
 		reg.Gauge("epi_run_seconds").Set(elapsed.Seconds())
 		reg.Help("epi_run_days", "simulated horizon in days")

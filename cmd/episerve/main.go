@@ -63,7 +63,8 @@ func main() {
 		"what-if snapshot cache budget in MB (0 disables cross-request prefix reuse)")
 	scale := flag.Int("scale", 20000, "population scale (1:N)")
 	seed := flag.Uint64("seed", 2020, "pipeline random seed")
-	parallelism := flag.Int("parallelism", 2, "per-simulation processing units")
+	parallelism := flag.Int("parallelism", 2, "per-simulation processing units; superseded by -shards when set")
+	shards := flag.Int("shards", 0, "per-simulation shard count, each shard owning a disjoint node range (0 = -parallelism); results are bit-identical at any value")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "graceful shutdown budget")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	enableFidelity := flag.Bool("fidelity", true,
@@ -72,7 +73,11 @@ func main() {
 	fidelityCacheMB := flag.Int64("fidelity-cache", 64, "fidelity training-set cache budget in MB")
 	flag.Parse()
 
-	p := core.NewPipeline(*seed, core.WithScale(*scale), core.WithParallelism(*parallelism),
+	effShards := *shards
+	if effShards <= 0 {
+		effShards = *parallelism
+	}
+	p := core.NewPipeline(*seed, core.WithScale(*scale), core.WithParallelism(effShards),
 		core.WithSnapshotCacheBytes(*snapCacheMB<<20))
 	reg := obs.NewRegistry()
 	p.RegisterMetrics(reg)

@@ -127,23 +127,27 @@ func runGolden(t testing.TB, net *synthpop.Network, par int, ivs []Intervention)
 }
 
 // TestDeterminismAcrossParallelism requires the identical Result (daily
-// series, occupancy, totals) and the identical recorder stream for 1 and
-// 8 processing units on a mid-scale state network.
+// series, occupancy, totals) and the identical recorder stream at every
+// shard count in {1, 2, 4, 8} on a mid-scale state network — Parallelism
+// is the shard count of the shard-owned engine, so this pins the full
+// shard dimension, not just serial-vs-parallel.
 func TestDeterminismAcrossParallelism(t *testing.T) {
 	net := goldenNetwork(t)
 	for _, c := range goldenCases() {
 		t.Run(c.name, func(t *testing.T) {
 			res1, rec1 := runGolden(t, net, 1, c.ivs())
-			res8, rec8 := runGolden(t, net, 8, c.ivs())
-			if rec1.h != rec8.h || rec1.count != rec8.count {
-				t.Errorf("recorder stream differs: P1 %d events hash %#x, P8 %d events hash %#x",
-					rec1.count, rec1.h, rec8.count, rec8.h)
-			}
-			if res1.TotalInfections != res8.TotalInfections {
-				t.Errorf("total infections differ: P1 %d, P8 %d", res1.TotalInfections, res8.TotalInfections)
-			}
-			if !reflect.DeepEqual(res1.Daily, res8.Daily) || !reflect.DeepEqual(res1.Current, res8.Current) {
-				t.Error("daily series differ between P1 and P8")
+			for _, shards := range []int{2, 4, 8} {
+				resN, recN := runGolden(t, net, shards, c.ivs())
+				if rec1.h != recN.h || rec1.count != recN.count {
+					t.Errorf("recorder stream differs: P1 %d events hash %#x, P%d %d events hash %#x",
+						rec1.count, rec1.h, shards, recN.count, recN.h)
+				}
+				if res1.TotalInfections != resN.TotalInfections {
+					t.Errorf("total infections differ: P1 %d, P%d %d", res1.TotalInfections, shards, resN.TotalInfections)
+				}
+				if !reflect.DeepEqual(res1.Daily, resN.Daily) || !reflect.DeepEqual(res1.Current, resN.Current) {
+					t.Errorf("daily series differ between P1 and P%d", shards)
+				}
 			}
 		})
 	}
@@ -165,12 +169,12 @@ var goldenPins = map[string]struct {
 // TestGoldenKernelPin proves a kernel refactor did not change simulation
 // output for fixed seeds: the full Result and transition stream are
 // hashed and compared against values recorded from the reference
-// implementation, at Parallelism 1 and 8.
+// implementation, at every shard count in {1, 2, 4, 8}.
 func TestGoldenKernelPin(t *testing.T) {
 	net := goldenNetwork(t)
 	for _, c := range goldenCases() {
 		pin := goldenPins[c.name]
-		for _, par := range []int{1, 8} {
+		for _, par := range []int{1, 2, 4, 8} {
 			t.Run(fmt.Sprintf("%s/par=%d", c.name, par), func(t *testing.T) {
 				res, rec := runGolden(t, net, par, c.ivs())
 				got := struct {

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"slices"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/disease"
 	"repro/internal/obs"
@@ -123,41 +125,65 @@ func (r *Result) clone() *Result {
 }
 
 // runSpan executes days [s.ranTo, stop), accumulating into res.
+//
+// Each tick runs the shard engine's parallel phases (shard.go documents
+// the ownership and barrier protocol) between a serial head (scheduled
+// actions, propensity-bound refresh) and a serial tail (canonical merge,
+// interventions, accounting). With one shard every phase runs inline on
+// the caller — no goroutine round-trip for sequential runs.
 func (s *Sim) runSpan(res *Result, stop int) {
-	nParts := len(s.parts)
-	exposuresPer := make([][]exposure, nParts)
+	nShards := len(s.shards)
+	phaseStart := s.phaseSecs
 	if s.memTrace == nil {
 		s.memTrace = make([]int64, 0, s.cfg.Days)
 	}
 
 	// Persistent worker pool: the workers live for the whole span and
-	// receive one partition index per tick, replacing the per-day
-	// goroutine spawn of the reference kernel. Each worker owns one
-	// scratch buffer, reused across partitions and ticks. The s.day write
-	// below happens-before the channel send, and the workers' buffer
-	// writes happen-before wg.Wait returns, so the phases stay race-free.
+	// receive one shard index per phase dispatch, replacing the per-day
+	// goroutine spawn of the reference kernel. The coordinator's writes
+	// (s.day, s.curPhase, the dirty flags) happen-before the channel
+	// sends, and the workers' writes happen-before wg.Wait returns, so
+	// each barrier fully orders the phases.
 	var (
 		jobs chan int
 		wg   sync.WaitGroup
 	)
-	if nParts > 1 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nShards {
+		workers = nShards
+	}
+	// A one-worker pool executes the shards in ascending order anyway, so
+	// on a single-CPU host (or with one shard) the phases run inline on
+	// the caller: same order, no channel round-trips per dispatch.
+	inline := workers <= 1 || nShards == 1
+	if !inline {
 		jobs = make(chan int)
 		defer close(jobs)
-		workers := runtime.GOMAXPROCS(0)
-		if workers > nParts {
-			workers = nParts
-		}
 		for w := 0; w < workers; w++ {
 			go func() {
-				var scratch []propEntry
-				for pi := range jobs {
-					exposuresPer[pi], scratch = s.transmissionPhase(s.parts[pi], s.day, exposuresPer[pi][:0], scratch[:0])
+				for si := range jobs {
+					s.runPhase(s.curPhase, &s.shards[si])
 					wg.Done()
 				}
 			}()
 		}
 	}
-	var soloScratch []propEntry
+	dispatch := func(phase int) {
+		t0 := time.Now()
+		s.curPhase = phase
+		if inline {
+			for si := 0; si < nShards; si++ {
+				s.runPhase(phase, &s.shards[si])
+			}
+		} else {
+			wg.Add(nShards)
+			for si := 0; si < nShards; si++ {
+				jobs <- si
+			}
+			wg.Wait()
+		}
+		s.phaseSecs[phase] += time.Since(t0).Seconds()
+	}
 
 	for day := s.ranTo; day < stop; day++ {
 		s.day = day
@@ -166,63 +192,49 @@ func (s *Sim) runSpan(res *Result, stop int) {
 			s.todayEvents = s.todayEvents[:0]
 		}
 		s.runScheduled(day)
+		s.prepareTick()
 
-		s.tickUpkeep(day)
-
-		// Phase 1: transmission. Each worker scans the susceptible nodes
-		// of its partition; reads of neighbor health are safe because
-		// health is not written during this phase (synchronous update).
-		// The phase runs on the caller when there is a single partition —
-		// no goroutine round-trip for sequential runs.
-		if nParts == 1 {
-			exposuresPer[0], soloScratch = s.transmissionPhase(s.parts[0], day, exposuresPer[0][:0], soloScratch[:0])
-		} else {
-			wg.Add(nParts)
-			for pi := range s.parts {
-				jobs <- pi
-			}
-			wg.Wait()
-		}
-
-		// Phase 2: fire the progressions whose dwell expires today, in
-		// ascending person order (the order the reference kernel's
-		// partition scan produced). The bucket may hold stale or
-		// duplicate entries from rescheduled progressions; switchTick
-		// arbitrates.
-		if day < len(s.progBuckets) {
-			bucket := s.progBuckets[day]
-			s.progBuckets[day] = nil
-			slices.Sort(bucket)
-			prev := int32(-1)
-			for _, pid := range bucket {
-				if pid == prev {
-					continue
-				}
-				prev = pid
-				if s.switchTick[pid] != int32(day) {
-					continue
-				}
-				s.transitionTo(pid, s.health[pid], s.nextState[pid], NoInfector, day)
+		// Upkeep: the day-driven rebuilds of the cached tables, split
+		// across shards; skipped outright on the (common) tick with
+		// nothing to refresh.
+		if s.omegaDirty || s.maskDirtyAll || (day < len(s.isolExpiry) && len(s.isolExpiry[day]) > 0) {
+			dispatch(phUpkeep)
+			s.omegaDirty = false
+			s.maskDirtyAll = false
+			if day < len(s.isolExpiry) {
+				s.isolExpiry[day] = nil
 			}
 		}
 
-		// Phase 3: apply exposures in node order. A node that progressed
-		// out of susceptibility this tick can no longer be exposed.
-		for _, buf := range exposuresPer {
-			for _, e := range buf {
-				if s.model.IsSusceptible(s.health[e.pid]) {
-					s.infect(e.pid, e.infector, day)
-					res.TotalInfections++
-				}
+		// Transmit: each shard scans the at-risk nodes of its range;
+		// reads of neighbor tables are safe because nothing writes
+		// during this phase (synchronous update).
+		dispatch(phTransmit)
+
+		// Mutate: progression drain + exposure application on owned
+		// nodes; risk-counter deltas for remote neighbors are sent to
+		// their owners' inboxes.
+		dispatch(phMutate)
+
+		// Exchange: owners apply the deltas addressed to them. Skipped
+		// when no shard sent anything this tick.
+		if nShards > 1 {
+			sent := 0
+			for si := range s.shards {
+				sent += s.shards[si].sent
+			}
+			if sent > 0 {
+				dispatch(phExchange)
 			}
 		}
 
-		// Phase 4: interventions (trigger evaluation + action ensembles).
+		// Serial tail: fold the shards' outputs in canonical order, then
+		// interventions (trigger evaluation + action ensembles) and the
+		// daily accounting.
+		s.mergeTick(res, day)
 		for _, iv := range s.cfg.Interventions {
 			iv.Step(s, day, s.ivRNG)
 		}
-
-		// Daily accounting from the tick's transition events.
 		for _, ev := range s.todayEvents {
 			res.Daily[day][ev.To]++
 		}
@@ -236,36 +248,20 @@ func (s *Sim) runSpan(res *Result, stop int) {
 		}
 	}
 	s.ranTo = stop
+	s.publishMetrics(phaseStart)
 }
 
-// tickUpkeep applies the day-driven changes to the kernel's cached tables
-// before the transmission workers start. effInf and effMaskT are maintained
-// incrementally at their mutation points; what remains here is: isolation
-// windows ending today, global context flips since the last tick, and
-// (defensively) a transmissibility change.
-func (s *Sim) tickUpkeep(day int) {
+// prepareTick refreshes the serial per-tick inputs of the parallel phases:
+// the transmissibility-change flag (whose O(n) effInf rebuild the upkeep
+// phase splits across shards) and the propensity rejection bound.
+// propBound · σ(v) · TWSum(v) bounds v's total propensity (every factor is
+// bounded termwise), letting the kernel reject nodes whose uniform draw
+// cannot produce an infection without visiting a single edge.
+func (s *Sim) prepareTick() {
 	if s.model.Transmissibility != s.lastOmega {
 		s.lastOmega = s.model.Transmissibility
-		for i := range s.effInf {
-			s.updateEffInf(int32(i))
-		}
+		s.omegaDirty = true
 	}
-	if day < len(s.isolExpiry) {
-		for _, pid := range s.isolExpiry[day] {
-			s.effMaskT[pid] = s.effMask(pid)
-		}
-		s.isolExpiry[day] = nil
-	}
-	if s.maskDirtyAll {
-		s.maskDirtyAll = false
-		for i := range s.effMaskT {
-			s.effMaskT[i] = s.effMask(int32(i))
-		}
-	}
-	// propBound · σ(v) · TWSum(v) bounds v's total propensity (every
-	// factor is bounded termwise), letting the kernel reject nodes
-	// whose uniform draw cannot produce an infection without touching
-	// their edges.
 	cwMax := 0.0
 	for _, w := range s.ctxWeight {
 		if w > cwMax {
@@ -273,6 +269,25 @@ func (s *Sim) tickUpkeep(day int) {
 		}
 	}
 	s.propBound = cwMax * s.iotaMax * s.scaleHW * s.model.Transmissibility
+}
+
+// publishMetrics pushes the simulator's observability series into the
+// configured registry, once per run segment (never from the hot loop): the
+// shard-count gauge and the segment's per-phase wall-clock (the delta over
+// the accumulated totals at segment start, so segmented runs observe each
+// span once).
+func (s *Sim) publishMetrics(phaseStart [numPhases]float64) {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Help("epi_shards", "Shard processing units of the simulator run.")
+	reg.Gauge("epi_shards").Set(float64(len(s.shards)))
+	for ph, name := range phaseNames {
+		if d := s.phaseSecs[ph] - phaseStart[ph]; d > 0 {
+			reg.Histogram(`epi_span_seconds{span="epihiper.shard.`+name+`"}`, nil).Observe(d)
+		}
+	}
 }
 
 // runScheduled fires queued actions due on or before the given day, in the
@@ -318,90 +333,107 @@ func (s *Sim) transmissionPhase(p synthpop.Partition, day int, buf []exposure, s
 	infBits := s.effInfBits
 	attrs := &s.model.Attrs
 	propBound := s.propBound
-	for pid := p.FirstNode; pid <= p.LastNode; pid++ {
-		need := s.infNbrCount[pid]
-		if need == 0 {
-			continue // no infectious neighbors: no exposure risk today
-		}
-		st := s.health[pid]
-		sus := attrs[st].Susceptibility
-		if sus <= 0 {
-			continue
-		}
-		maskV := s.effMaskT[pid]
-		if maskV == 0 {
-			continue
-		}
-		sigma := float64(s.susceptibilityScale[pid]) * sus
-		if sigma <= 0 {
-			continue
-		}
-		// Thinning: σ·propBound·min(ΣT·w, need·maxT·w) bounds the node's
-		// total propensity (at most `need` contacts contribute, each at
-		// most the row maximum), so a draw above the corresponding
-		// infection probability decides "no infection" without visiting a
-		// single edge. The per-(node, tick) RNG stream is consumed
-		// identically on both paths.
-		bound := twSum[pid]
-		if b := float64(need) * twMax[pid]; b < bound {
-			bound = b
-		}
-		seed := s.nodeSeed(pid, day, phaseTransmission)
-		u := stats.FirstFloat64(seed)
-		if notInfectedBound(u, sigma*propBound*bound) {
-			continue
-		}
-		r := stats.Seeded(seed)
-		r.Uint64() // the draw u above is this stream's first output
-		off, end := offsets[pid], offsets[pid+1]
-		total := 0.0
-		scratch = scratch[:0]
-		nbrs := csrNbr[off:end]
-		ctxs := csrCtx[off:end]
-		tws := csrTW[off:end]
-		found := int32(0)
-		for i, nb := range nbrs {
-			// The bitset check is the common exit (most neighbors are
-			// not infectious) and stays in L1 at any network scale; the
-			// SoA split means the scan touches only 4 bytes per skipped
-			// edge.
-			if infBits[uint32(nb)>>6]&(1<<(uint32(nb)&63)) == 0 {
+	// Iterate the at-risk bitset word by word instead of testing every
+	// node's neighbor counter: a whole zero word — 64 risk-free nodes, the
+	// usual case outside the epidemic frontier — costs one load, and set
+	// bits enumerate in ascending node order so the exposure buffer keeps
+	// the canonical order the serial kernel produced.
+	risk := s.riskBits
+	loWord := int(uint32(p.FirstNode) >> 6)
+	hiWord := int(uint32(p.LastNode) >> 6)
+	for wi := loWord; wi <= hiWord; wi++ {
+		w := risk[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			pid := int32(wi<<6 | b)
+			if pid < p.FirstNode {
+				continue // partial first word of an unaligned partition
+			}
+			if pid > p.LastNode {
+				break // partial last word; only reachable when wi == hiWord
+			}
+			need := s.infNbrCount[pid]
+			st := s.health[pid]
+			sus := attrs[st].Susceptibility
+			if sus <= 0 {
 				continue
 			}
-			found++
-			ctx := ctxs[i]
-			src := ctx & 7
-			if maskV&(1<<src) != 0 && s.effMaskT[nb]&(1<<(ctx>>3)) != 0 {
-				prop := tws[i] * s.ctxWeight[src] * sigma * s.effInf[nb]
-				total += prop
-				scratch = append(scratch, propEntry{nbr: nb, p: prop})
+			maskV := s.effMaskT[pid]
+			if maskV == 0 {
+				continue
 			}
-			// Every bitset-set neighbor is infectious, and there are at
-			// most `need` of those in the row: once all are seen, no
-			// later edge can contribute.
-			if found == need {
-				break
+			sigma := float64(s.susceptibilityScale[pid]) * sus
+			if sigma <= 0 {
+				continue
 			}
-		}
-		if total <= 0 {
-			continue
-		}
-		if !infected(u, total) {
-			continue
-		}
-		// Pick the causing contact proportionally to propensity by
-		// replaying the recorded propensities.
-		target := r.Float64() * total
-		acc := 0.0
-		infector := NoInfector
-		for i := range scratch {
-			acc += scratch[i].p
-			if acc >= target {
-				infector = scratch[i].nbr
-				break
+			// Thinning: σ·propBound·min(ΣT·w, need·maxT·w) bounds the node's
+			// total propensity (at most `need` contacts contribute, each at
+			// most the row maximum), so a draw above the corresponding
+			// infection probability decides "no infection" without visiting a
+			// single edge. The per-(node, tick) RNG stream is consumed
+			// identically on both paths.
+			bound := twSum[pid]
+			if b := float64(need) * twMax[pid]; b < bound {
+				bound = b
 			}
+			seed := s.nodeSeed(pid, day, phaseTransmission)
+			u := stats.FirstFloat64(seed)
+			if notInfectedBound(u, sigma*propBound*bound) {
+				continue
+			}
+			r := stats.Seeded(seed)
+			r.Uint64() // the draw u above is this stream's first output
+			off, end := offsets[pid], offsets[pid+1]
+			total := 0.0
+			scratch = scratch[:0]
+			nbrs := csrNbr[off:end]
+			ctxs := csrCtx[off:end]
+			tws := csrTW[off:end]
+			found := int32(0)
+			for i, nb := range nbrs {
+				// The bitset check is the common exit (most neighbors are
+				// not infectious) and stays in L1 at any network scale; the
+				// SoA split means the scan touches only 4 bytes per skipped
+				// edge.
+				if infBits[uint32(nb)>>6]&(1<<(uint32(nb)&63)) == 0 {
+					continue
+				}
+				found++
+				ctx := ctxs[i]
+				src := ctx & 7
+				if maskV&(1<<src) != 0 && s.effMaskT[nb]&(1<<(ctx>>3)) != 0 {
+					prop := tws[i] * s.ctxWeight[src] * sigma * s.effInf[nb]
+					total += prop
+					scratch = append(scratch, propEntry{nbr: nb, p: prop})
+				}
+				// Every bitset-set neighbor is infectious, and there are at
+				// most `need` of those in the row: once all are seen, no
+				// later edge can contribute.
+				if found == need {
+					break
+				}
+			}
+			if total <= 0 {
+				continue
+			}
+			if !infected(u, total) {
+				continue
+			}
+			// Pick the causing contact proportionally to propensity by
+			// replaying the recorded propensities.
+			target := r.Float64() * total
+			acc := 0.0
+			infector := NoInfector
+			for i := range scratch {
+				acc += scratch[i].p
+				if acc >= target {
+					infector = scratch[i].nbr
+					break
+				}
+			}
+			buf = append(buf, exposure{pid: pid, infector: infector})
 		}
-		buf = append(buf, exposure{pid: pid, infector: infector})
 	}
 	return buf, scratch
 }
@@ -520,6 +552,7 @@ func RunReplicatesCtx(ctx context.Context, cfg Config, replicates int) ([]*Resul
 		}
 	}
 	parallelSafe := cfg.Interventions == nil || cfg.InterventionsFactory != nil
+	var ctxErr error
 	if parallelSafe {
 		workers := runtime.GOMAXPROCS(0)
 		if workers > replicates {
@@ -536,15 +569,35 @@ func RunReplicatesCtx(ctx context.Context, cfg Config, replicates int) ([]*Resul
 				}
 			}()
 		}
+		// The dispatch loop watches the context: a cancelled client (an
+		// episerve disconnect) must not keep queueing replicates behind
+		// the ones already in flight. In-flight replicates drain before
+		// return so no sim outlives the call.
 		for rep := 0; rep < replicates; rep++ {
-			jobs <- rep
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				break
+			}
+			select {
+			case jobs <- rep:
+			case <-ctx.Done():
+				ctxErr = ctx.Err()
+			}
+			if ctxErr != nil {
+				break
+			}
 		}
 		close(jobs)
 		wg.Wait()
 	} else {
 		for rep := 0; rep < replicates; rep++ {
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				break
+			}
 			runOne(rep)
 		}
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,324 @@
+package epihiper
+
+import (
+	"slices"
+
+	"repro/internal/disease"
+	"repro/internal/synthpop"
+)
+
+// This file implements the shard-owned execution engine: the distributed-
+// memory ABM pattern of the paper (EpiHiper splits the national network per
+// state across MPI ranks; "Pandemics in Silico" formalizes the same
+// shard-owns-state / exchange-at-tick-boundaries design), expressed over
+// goroutines and channels inside one process.
+//
+// Ownership. The network's nodes are split into contiguous, 64-aligned
+// ranges by the edge-balanced partitioner; shard i privately owns range
+// [first_i, last_i] of every per-person slab (health, nextState,
+// switchTick, scales, effInf, effMaskT, the effInfBits/riskBits bitset
+// words, infNbrCount) plus its own progression buckets. During the
+// parallel phases of a tick, a shard writes ONLY owned state; everything it
+// reads about other shards' nodes (their effInf, effMaskT, effInfBits) is
+// frozen for the duration of the phase by the barrier protocol below. The
+// 64-alignment guarantees no bitset word is shared between owners, so
+// bitset maintenance needs no atomics.
+//
+// Barrier protocol. Each tick runs four parallel phases, separated by
+// barriers (the coordinator's WaitGroup), with serial stitches between:
+//
+//	serial : scheduled actions, propensity-bound refresh
+//	upkeep : per-shard table maintenance (effInf rebuild on ω change,
+//	         isolation-window expiries, global-context mask refresh)
+//	-------- barrier: tables frozen -------------------------------------
+//	transmit: per-shard transmission scan — reads any shard's tables,
+//	         writes only the shard's private exposure buffer
+//	-------- barrier 1 of the tick: reads done, writes may begin --------
+//	mutate : per-shard progression drain + exposure application — writes
+//	         owned state; infectiousness changes touching a REMOTE
+//	         neighbor's counter become typed nbrUpdate messages sent over
+//	         the owner's channel
+//	-------- barrier 2 of the tick: all messages sent -------------------
+//	exchange: per-shard inbox drain — each shard applies the neighbor-
+//	         count deltas addressed to it, in sender order
+//	serial : canonical merge (events, counters), recorder, interventions,
+//	         daily accounting
+//
+// Determinism. Output is bit-identical at any shard count because (a)
+// every stochastic decision draws from an RNG keyed on (seed, node, tick,
+// phase), never a worker stream; (b) each shard drains progressions and
+// applies exposures in ascending node order, and the serial merge
+// concatenates per-shard buffers in shard order — reproducing exactly the
+// global ascending-node order of the single-threaded kernel; (c) inbox
+// batches are applied in sender order (and integer neighbor-count addition
+// commutes regardless); (d) counter deltas fold in shard order.
+const shardAlign = 64
+
+// Parallel phase identifiers, in per-tick execution order.
+const (
+	phUpkeep = iota
+	phTransmit
+	phMutate
+	phExchange
+	numPhases
+)
+
+// phaseNames label the per-phase wall-clock series
+// epi_span_seconds{span="epihiper.shard.<name>"}.
+var phaseNames = [numPhases]string{"upkeep", "transmit", "mutate", "exchange"}
+
+// nbrUpdate is the typed cross-shard message: "node pid (yours) gained or
+// lost one infectious neighbor (mine)". It is the only state any shard
+// ever communicates to another — everything else a shard learns about
+// remote nodes it reads from the phase-frozen tables.
+type nbrUpdate struct {
+	pid   int32
+	delta int32
+}
+
+// shardBatch carries one tick's updates from one sender shard. Batches are
+// sent over the owner's inbox channel at the end of the mutate phase and
+// applied in ascending sender order during the exchange phase.
+type shardBatch struct {
+	from    int
+	updates []nbrUpdate
+}
+
+// shard is one processing unit: the owner of a contiguous node range and
+// of every piece of per-tick scratch that range needs. All fields are
+// touched only by the goroutine executing the shard's current phase, or by
+// the coordinator between barriers.
+type shard struct {
+	id          int
+	first, last int32 // inclusive owned node range; first is 64-aligned
+	part        synthpop.Partition
+
+	// progBuckets[d] lists owned persons whose pending progression was
+	// scheduled to fire on day d (see the field of the same name the
+	// pre-shard Sim had; switchTick remains the source of truth and stale
+	// entries are filtered at drain time).
+	progBuckets [][]int32
+
+	// exposures is the transmit phase's output, mutate's input.
+	exposures []exposure
+	scratch   []propEntry
+
+	// events buffers the mutate phase's transitions: [:progCount] are the
+	// progression drain's (ascending pid), [progCount:] the exposure
+	// applications' (ascending pid). The coordinator merges them into the
+	// canonical tick order at the barrier.
+	events    []TransitionEvent
+	progCount int
+
+	// outbox[d] accumulates updates owned by shard d; inbox receives the
+	// batches addressed here. sent counts batches sent this tick so the
+	// coordinator can skip the exchange phase on quiet ticks.
+	outbox  [][]nbrUpdate
+	inbox   chan shardBatch
+	batches []shardBatch
+	sent    int
+
+	// Counter deltas of the mutate phase, folded into the Sim's global
+	// counters (in shard order) at the merge.
+	curDelta   [disease.NumStates]int
+	cumDelta   [disease.NumStates]int64
+	infections int64
+}
+
+// buildShards materializes one shard per (aligned) partition and the
+// word-granular owner table behind ownerOf.
+func (s *Sim) buildShards() {
+	ns := len(s.parts)
+	s.shards = make([]shard, ns)
+	s.shardStarts = make([]int32, ns)
+	nn := int(s.parts[ns-1].LastNode) + 1
+	s.ownerWord = make([]uint16, (nn+63)/64)
+	for i, p := range s.parts {
+		sh := &s.shards[i]
+		sh.id = i
+		sh.first, sh.last = p.FirstNode, p.LastNode
+		sh.part = p
+		sh.progBuckets = make([][]int32, s.cfg.Days)
+		sh.outbox = make([][]nbrUpdate, ns)
+		sh.inbox = make(chan shardBatch, ns)
+		s.shardStarts[i] = p.FirstNode
+		for w := int(uint32(p.FirstNode) >> 6); w <= int(uint32(p.LastNode)>>6); w++ {
+			s.ownerWord[w] = uint16(i)
+		}
+	}
+}
+
+// ownerOf returns the shard owning node v. Because shard boundaries are
+// 64-aligned, ownership is constant per bitset word, so the lookup is one
+// load into a table of n/64 entries — it sits on the per-neighbor path of
+// the mutate phase, where a binary search was a measurable slice of the
+// profile.
+func (s *Sim) ownerOf(v int32) *shard {
+	return &s.shards[s.ownerWord[uint32(v)>>6]]
+}
+
+// owns reports whether the shard owns node v.
+func (sh *shard) owns(v int32) bool { return v >= sh.first && v <= sh.last }
+
+// runPhase executes one parallel phase for one shard. It is called either
+// inline (single shard) or from a worker goroutine; in both cases the
+// coordinator guarantees exclusive access to the shard and the phase's
+// read/write discipline documented above.
+func (s *Sim) runPhase(phase int, sh *shard) {
+	switch phase {
+	case phUpkeep:
+		s.upkeepPhase(sh, s.day)
+	case phTransmit:
+		sh.exposures, sh.scratch = s.transmissionPhase(sh.part, s.day, sh.exposures[:0], sh.scratch[:0])
+	case phMutate:
+		s.mutatePhase(sh, s.day)
+	case phExchange:
+		s.exchangePhase(sh)
+	}
+}
+
+// upkeepPhase applies the day-driven changes to the shard's slice of the
+// kernel's cached tables: the effInf rebuild after a transmissibility
+// change, isolation windows ending today, and the effMaskT refresh after a
+// global context flip. Each rewrite is idempotent and confined to owned
+// nodes; the coordinator clears the dirty flags after the barrier.
+func (s *Sim) upkeepPhase(sh *shard, day int) {
+	if s.omegaDirty {
+		for pid := sh.first; pid <= sh.last; pid++ {
+			s.updateEffInf(pid)
+		}
+	}
+	if day < len(s.isolExpiry) {
+		for _, pid := range s.isolExpiry[day] {
+			if sh.owns(pid) {
+				s.effMaskT[pid] = s.effMask(pid)
+			}
+		}
+	}
+	if s.maskDirtyAll {
+		for pid := sh.first; pid <= sh.last; pid++ {
+			s.effMaskT[pid] = s.effMask(pid)
+		}
+	}
+}
+
+// mutatePhase applies the tick's state changes to the shard's owned nodes:
+// first the progressions whose dwell expires today (ascending node order,
+// stale bucket entries arbitrated by switchTick), then the exposures the
+// transmit phase found (ascending node order; a node that progressed out
+// of susceptibility this tick can no longer be exposed). Infectiousness
+// changes update owned neighbors' counters directly and emit nbrUpdate
+// messages to the owners of remote neighbors.
+func (s *Sim) mutatePhase(sh *shard, day int) {
+	sh.events = sh.events[:0]
+	sh.progCount = 0
+	sh.sent = 0
+	for d := range sh.outbox {
+		sh.outbox[d] = sh.outbox[d][:0]
+	}
+	if day < len(sh.progBuckets) {
+		bucket := sh.progBuckets[day]
+		sh.progBuckets[day] = nil
+		slices.Sort(bucket)
+		prev := int32(-1)
+		for _, pid := range bucket {
+			if pid == prev {
+				continue
+			}
+			prev = pid
+			if s.switchTick[pid] != int32(day) {
+				continue
+			}
+			s.applyTransition(sh, pid, s.health[pid], s.nextState[pid], NoInfector, day)
+		}
+	}
+	sh.progCount = len(sh.events)
+	for _, e := range sh.exposures {
+		if s.model.IsSusceptible(s.health[e.pid]) {
+			s.infectIn(sh, e.pid, e.infector, day)
+			sh.infections++
+		}
+	}
+	for d := range sh.outbox {
+		if d != sh.id && len(sh.outbox[d]) > 0 {
+			s.shards[d].inbox <- shardBatch{from: sh.id, updates: sh.outbox[d]}
+			sh.sent++
+		}
+	}
+}
+
+// exchangePhase drains the shard's inbox and applies the neighbor-count
+// deltas addressed to it. All sends completed before the phase's barrier,
+// so a non-blocking drain sees every batch; batches are applied in sender
+// order for a deterministic (if already commutative) update sequence. The
+// received slices are owned by their senders and stay valid until the
+// sender's next mutate phase — strictly after this phase's barrier.
+func (s *Sim) exchangePhase(sh *shard) {
+	sh.batches = sh.batches[:0]
+	for len(sh.inbox) > 0 {
+		sh.batches = append(sh.batches, <-sh.inbox)
+	}
+	slices.SortFunc(sh.batches, func(a, b shardBatch) int { return a.from - b.from })
+	for _, b := range sh.batches {
+		for _, u := range b.updates {
+			s.bumpInfNbr(u.pid, u.delta)
+		}
+	}
+}
+
+// mergeTick folds the shards' phase outputs into the global state, in
+// shard order: counter deltas, the infection total, and the buffered
+// transition events — all progressions (ascending node order across
+// shards), then all exposures, exactly the order the single-threaded
+// kernel emits. The recorder sees the merged stream here, on the
+// coordinator goroutine.
+func (s *Sim) mergeTick(res *Result, day int) {
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for st := range sh.curDelta {
+			s.currentByState[st] += sh.curDelta[st]
+			sh.curDelta[st] = 0
+		}
+		for st := range sh.cumDelta {
+			s.cumByState[st] += sh.cumDelta[st]
+			sh.cumDelta[st] = 0
+		}
+		res.TotalInfections += sh.infections
+		sh.infections = 0
+	}
+	rec := s.cfg.Recorder
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for _, ev := range sh.events[:sh.progCount] {
+			s.todayEvents = append(s.todayEvents, ev)
+			if rec != nil {
+				rec.Record(day, ev.PID, ev.From, ev.To, ev.Infector)
+			}
+		}
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		for _, ev := range sh.events[sh.progCount:] {
+			s.todayEvents = append(s.todayEvents, ev)
+			if rec != nil {
+				rec.Record(day, ev.PID, ev.From, ev.To, ev.Infector)
+			}
+		}
+		sh.events = sh.events[:0]
+		sh.progCount = 0
+	}
+}
+
+// ShardCount returns the number of shards (processing units) the sim runs.
+func (s *Sim) ShardCount() int { return len(s.shards) }
+
+// PhaseSeconds returns the accumulated wall-clock seconds of one parallel
+// phase ("upkeep", "transmit", "mutate", "exchange") across the run so far.
+func (s *Sim) PhaseSeconds(phase string) float64 {
+	for i, n := range phaseNames {
+		if n == phase {
+			return s.phaseSecs[i]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,248 @@
+package epihiper
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/disease"
+	"repro/internal/obs"
+)
+
+// This file gates the shard-owned engine (shard.go): snapshots must be
+// shard-count-independent in both directions (taken at A, restored at B),
+// the shard layout must respect the bitset-word alignment its no-atomics
+// design depends on, replicate fan-outs must honor context cancellation,
+// and BenchmarkShardScaling records the scaling curve for BENCH_PR8.json.
+
+// TestSnapshotShardCrossing is the shard × snapshot cross product: a
+// checkpoint taken at shard count A must restore and continue bit-
+// identically at shard count B — EPSNAP serializes canonical node order,
+// never shard layout, so every (A, B) pair reproduces the from-scratch
+// reference run: same transition stream, same Result digest, same final
+// state.
+func TestSnapshotShardCrossing(t *testing.T) {
+	net := smallNetwork(t)
+	const days, pivot = 40, 17
+	stack := func() []Intervention {
+		return append(BaseCaseInterventions(8, 30, 0.3, 0.4),
+			&TestAndIsolate{DailyDetectRate: 0.1, IsolationDays: 7},
+			&MaskMandate{StartDay: 12, EndDay: days, WeightFactor: 0.8})
+	}
+
+	recRef := newHashingRecorder()
+	simRef, err := New(snapCfg(net, days, 1, 2026, stack(), recRef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRef, err := simRef.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recRef.count == 0 {
+		t.Fatal("reference run produced no events; the fixture is vacuous")
+	}
+	refDigest := resultDigest(resRef)
+
+	for _, pair := range [][2]int{{1, 4}, {4, 1}, {2, 8}, {8, 2}, {4, 8}, {8, 8}} {
+		a, b := pair[0], pair[1]
+		t.Run(fmt.Sprintf("snap=%d/restore=%d", a, b), func(t *testing.T) {
+			rec := newHashingRecorder()
+			simA, err := New(snapCfg(net, days, a, 2026, stack(), rec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre, err := simA.RunPrefix(pivot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := simA.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			simB, err := NewFromSnapshot(snapCfg(net, days, b, 2026, stack(), rec), snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 64-alignment may merge shards on a ~400-person network
+			// (requested counts can exceed the bitset-word supply); the
+			// effective count only needs to differ across the pair for
+			// the crossing to be exercised.
+			if got := simB.ShardCount(); got < 1 || got > b {
+				t.Fatalf("restored sim runs %d shards, want 1..%d", got, b)
+			}
+			res, err := simB.RunSuffix(pre)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.h != recRef.h || rec.count != recRef.count {
+				t.Errorf("transition stream differs from scratch run: got %d events hash %#x, want %d events hash %#x",
+					rec.count, rec.h, recRef.count, recRef.h)
+			}
+			if d := resultDigest(res); d != refDigest {
+				t.Errorf("result digest differs from scratch run: got %#x, want %#x", d, refDigest)
+			}
+			requireFinalStateEqual(t, simRef, simB)
+		})
+	}
+}
+
+// TestShardLayout pins the structural invariants the no-atomics design
+// rests on: shards cover the node range contiguously in ascending order,
+// and every boundary except the last falls on a 64-node multiple so no
+// effInfBits/riskBits word has two owners.
+func TestShardLayout(t *testing.T) {
+	net := smallNetwork(t)
+	for _, shards := range []int{1, 2, 4, 8} {
+		sim, err := New(snapCfg(net, 10, shards, 7, nil, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Alignment may merge shards when the network is tiny relative
+		// to the requested count (~400 persons is only ~6 bitset words),
+		// but never exceed it.
+		if got := sim.ShardCount(); got < 1 || got > shards {
+			t.Fatalf("shards=%d: got %d shards", shards, got)
+		}
+		next := int32(0)
+		for i := range sim.shards {
+			sh := &sim.shards[i]
+			if sh.first != next {
+				t.Fatalf("shards=%d: shard %d starts at %d, want %d", shards, i, sh.first, next)
+			}
+			if sh.first%shardAlign != 0 {
+				t.Fatalf("shards=%d: shard %d starts at unaligned node %d", shards, i, sh.first)
+			}
+			if sh.last < sh.first {
+				t.Fatalf("shards=%d: shard %d empty range [%d,%d]", shards, i, sh.first, sh.last)
+			}
+			next = sh.last + 1
+		}
+		if int(next) != net.NumNodes() {
+			t.Fatalf("shards=%d: coverage ends at %d, want %d", shards, next, net.NumNodes())
+		}
+		for pid := int32(0); int(pid) < net.NumNodes(); pid += 13 {
+			if sh := sim.ownerOf(pid); !sh.owns(pid) {
+				t.Fatalf("ownerOf(%d) returned shard %d owning [%d,%d]", pid, sh.id, sh.first, sh.last)
+			}
+		}
+	}
+}
+
+// TestRunReplicatesCtxPreCancelled regresses the dispatch loop ignoring
+// cancellation: a context cancelled before the call (a disconnected
+// client) must yield ctx.Err() without executing the queued replicates —
+// previously every replicate still ran to completion.
+func TestRunReplicatesCtxPreCancelled(t *testing.T) {
+	net := smallNetwork(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cfg := snapCfg(net, 30, 1, 99, nil, nil)
+	start := time.Now()
+	res, err := RunReplicatesCtx(ctx, cfg, 64)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel path: got (%v, %v), want context.Canceled", res, err)
+	}
+	if res != nil {
+		t.Fatal("parallel path returned results despite cancellation")
+	}
+	// 64 replicates of a 30-day run take far longer than the bail-out.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled dispatch still took %v", elapsed)
+	}
+
+	// The sequential path (shared intervention stack) must bail too.
+	cfg.Interventions = BaseCaseInterventions(5, 20, 0.3, 0.4)
+	res, err = RunReplicatesCtx(ctx, cfg, 64)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential path: got (%v, %v), want context.Canceled", res, err)
+	}
+}
+
+// TestRunReplicatesCtxUncancelled pins the happy path after the fix: a
+// live context changes nothing about results.
+func TestRunReplicatesCtxUncancelled(t *testing.T) {
+	net := smallNetwork(t)
+	cfg := snapCfg(net, 15, 2, 41, nil, nil)
+	want, err := RunReplicates(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunReplicatesCtx(context.Background(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].TotalInfections != got[i].TotalInfections {
+			t.Fatalf("replicate %d: %d infections with ctx, %d without", i, got[i].TotalInfections, want[i].TotalInfections)
+		}
+	}
+}
+
+// TestShardMetricsPublished checks the observability satellite: a run with
+// a registry publishes the epi_shards gauge and per-phase
+// epi_span_seconds{span="epihiper.shard.*"} histograms.
+func TestShardMetricsPublished(t *testing.T) {
+	net := smallNetwork(t)
+	reg := obs.NewRegistry()
+	cfg := snapCfg(net, 20, 4, 3, nil, nil)
+	cfg.Metrics = reg
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "epi_shards 4") {
+		t.Errorf("epi_shards gauge missing or wrong:\n%s", out)
+	}
+	for _, span := range []string{"transmit", "mutate"} {
+		if !strings.Contains(out, `epi_span_seconds_count{span="epihiper.shard.`+span+`"}`) {
+			t.Errorf("phase span %q missing from exposition:\n%s", span, out)
+		}
+	}
+	if sim.PhaseSeconds("transmit") <= 0 {
+		t.Error("transmit phase accumulated no wall-clock")
+	}
+}
+
+// BenchmarkShardScaling drives the full kernel (transmission + mutation +
+// exchange + merge) over the golden mid-scale network at shard counts
+// {1, 2, 4, 8}: the scaling curve published to BENCH_PR8.json. On
+// multi-core hardware the curve tracks core count; on a single-CPU host
+// it records the engine's overhead at higher shard counts instead.
+func BenchmarkShardScaling(b *testing.B) {
+	net := goldenNetwork(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim, err := New(Config{
+					Model:       disease.COVID19(),
+					Network:     net,
+					Days:        60,
+					Parallelism: shards,
+					Seed:        12345,
+					Seeds:       seedAll(net, 8),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/disease"
+	"repro/internal/obs"
 	"repro/internal/popdb"
 	"repro/internal/stats"
 	"repro/internal/synthpop"
@@ -90,6 +91,12 @@ type Config struct {
 	DB *popdb.Server
 	// Recorder receives the transition stream; may be nil.
 	Recorder Recorder
+	// Metrics optionally receives the simulator's observability series:
+	// the epi_shards gauge and the per-phase wall-clock histograms
+	// epi_span_seconds{span="epihiper.shard.<phase>"}, published once per
+	// run segment. Nil disables publication (the kernel never touches the
+	// registry from its hot loop either way).
+	Metrics *obs.Registry
 }
 
 // Sim is the mutable simulation state (the paper's "system state":
@@ -107,14 +114,6 @@ type Sim struct {
 	health     []disease.State
 	nextState  []disease.State
 	switchTick []int32 // tick at which the pending progression fires; -1 none
-
-	// progBuckets[d] lists the persons whose pending progression was
-	// scheduled to fire on day d. Buckets replace the daily O(n)
-	// switchTick scan with an O(transitions) drain; switchTick remains
-	// the source of truth, so stale entries (progressions rescheduled by
-	// a later transition, e.g. under waning immunity) are filtered at
-	// drain time.
-	progBuckets [][]int32
 
 	infectivityScale    []float32
 	susceptibilityScale []float32
@@ -138,6 +137,24 @@ type Sim struct {
 
 	parts []synthpop.Partition
 	ivRNG *stats.RNG
+
+	// shards are the processing units of the shard-owned engine (see
+	// shard.go): one per partition, each privately owning its contiguous
+	// 64-aligned node range of every per-person slab plus its own
+	// progression buckets. shardStarts[i] = shards[i].first; ownerWord
+	// maps each 64-node bitset word to its owning shard (alignment makes
+	// ownership word-constant), backing the O(1) ownerOf on the
+	// per-neighbor path. curPhase is written by the coordinator
+	// between barriers and read by the workers (ordered by the jobs
+	// channel); omegaDirty/maskDirtyAll flag the pending O(n) table
+	// rebuilds the upkeep phase splits across shards; phaseSecs
+	// accumulates per-phase wall-clock for the obs registry.
+	shards      []shard
+	shardStarts []int32
+	ownerWord   []uint16
+	curPhase    int
+	omegaDirty  bool
+	phaseSecs   [numPhases]float64
 
 	// ranTo is the number of completed days: RunPrefix/RunSuffix segment the
 	// run at day boundaries and resume from here; Run is the single segment
@@ -182,6 +199,12 @@ type Sim struct {
 	effMaskT     []uint8
 	effInfBits   []uint64
 	maskDirtyAll bool
+	// riskBits[v/64] has bit v%64 set iff infNbrCount[v] > 0. The
+	// transmission scan iterates set bits word-by-word instead of testing
+	// every node's counter, so a tick's cost tracks the at-risk frontier
+	// rather than the population. Maintained by bumpInfNbr alongside the
+	// counter; 64-aligned shard boundaries keep each word single-owner.
+	riskBits []uint64
 	// isolExpiry[d] lists the persons whose isolation window ends on day
 	// d, whose cached masks must be refreshed that morning.
 	isolExpiry [][]int32
@@ -296,7 +319,6 @@ func newSim(cfg Config) (*Sim, error) {
 		health:              make([]disease.State, n),
 		nextState:           make([]disease.State, n),
 		switchTick:          make([]int32, n),
-		progBuckets:         make([][]int32, cfg.Days),
 		infectivityScale:    make([]float32, n),
 		susceptibilityScale: make([]float32, n),
 		ctxMask:             make([]uint8, n),
@@ -305,6 +327,7 @@ func newSim(cfg Config) (*Sim, error) {
 		effInf:              make([]float64, n),
 		effMaskT:            make([]uint8, n),
 		effInfBits:          make([]uint64, (n+63)/64),
+		riskBits:            make([]uint64, (n+63)/64),
 		isolExpiry:          make([][]int32, cfg.Days),
 		scaleHW:             1,
 		lastOmega:           cfg.Model.Transmissibility,
@@ -329,7 +352,11 @@ func newSim(cfg Config) (*Sim, error) {
 		s.updateEffInf(int32(i))
 	}
 	s.currentByState[disease.Susceptible] = n
-	s.parts = cfg.Network.PartitionNodes(cfg.Parallelism, cfg.PartitionTolerance)
+	// Shard boundaries are rounded to 64-node multiples so no
+	// effInfBits/riskBits word spans two owners — the mutate phase can
+	// then maintain the bitsets without atomics.
+	s.parts = cfg.Network.PartitionNodesAligned(cfg.Parallelism, cfg.PartitionTolerance, shardAlign)
+	s.buildShards()
 	// The network-proportional memory term never changes after
 	// construction; the per-tick MemoryBytes samples only add the dynamic
 	// intervention state. NumEdges comes from the CSR offsets instead of
@@ -352,8 +379,9 @@ func (s *Sim) applySeeding() error {
 			s.infect(pid, NoInfector, 0)
 		}
 	}
-	byCounty := make(map[int32][]int32)
+	var byCounty map[int32][]int32
 	if s.cfg.DB != nil {
+		byCounty = make(map[int32][]int32)
 		conn, err := s.cfg.DB.TryConnect()
 		if err != nil {
 			return fmt.Errorf("epihiper: population DB: %w", err)
@@ -371,10 +399,10 @@ func (s *Sim) applySeeding() error {
 			byCounty[c] = ids
 		}
 	} else {
-		for i := range s.net.Persons {
-			p := &s.net.Persons[i]
-			byCounty[p.CountyFIPS] = append(byCounty[p.CountyFIPS], p.ID)
-		}
+		// The network's county index is built once and shared across the
+		// thousands of sims a replicate fan-out constructs over one
+		// network; both paths list each county ascending by person ID.
+		byCounty = s.net.PersonsByCounty()
 	}
 	for _, seed := range s.cfg.Seeds {
 		ids := byCounty[seed.CountyFIPS]
@@ -405,20 +433,43 @@ func (s *Sim) applySeeding() error {
 }
 
 // infect moves person pid into the model's exposed state at the given tick
-// and samples their onward progression.
+// and samples their onward progression. It is the serial-phase entry point
+// (seeding, scheduled actions, interventions); the mutate phase uses
+// infectIn with its shard.
 func (s *Sim) infect(pid, infector int32, tick int) {
-	from := s.health[pid]
-	to := s.model.ExposedState
-	s.transitionTo(pid, from, to, infector, tick)
+	s.infectIn(nil, pid, infector, tick)
 }
 
-// transitionTo applies a state change, records it, and samples the next
-// progression step.
+func (s *Sim) infectIn(sh *shard, pid, infector int32, tick int) {
+	s.applyTransition(sh, pid, s.health[pid], s.model.ExposedState, infector, tick)
+}
+
+// transitionTo applies a state change from a serial phase: counters, the
+// event stream and every neighbor's risk counter are written directly.
 func (s *Sim) transitionTo(pid int32, from, to disease.State, infector int32, tick int) {
+	s.applyTransition(nil, pid, from, to, infector, tick)
+}
+
+// applyTransition applies a state change, records it, and samples the next
+// progression step. With sh == nil the caller runs in a serial phase and
+// every side effect lands directly in global state. With sh != nil the
+// caller is sh's mutate phase: pid is owned by sh, counter changes
+// accumulate in the shard's deltas, the event is buffered for the
+// canonical merge, and risk-counter updates for neighbors owned by OTHER
+// shards become outbox messages instead of direct writes. Both paths
+// perform the identical RNG draw — determinism never depends on which one
+// ran.
+func (s *Sim) applyTransition(sh *shard, pid int32, from, to disease.State, infector int32, tick int) {
 	s.health[pid] = to
-	s.currentByState[from]--
-	s.currentByState[to]++
-	s.cumByState[to]++
+	if sh == nil {
+		s.currentByState[from]--
+		s.currentByState[to]++
+		s.cumByState[to]++
+	} else {
+		sh.curDelta[from]--
+		sh.curDelta[to]++
+		sh.cumDelta[to]++
+	}
 	s.updateEffInf(pid)
 	// Maintain the infectious-neighbor counters.
 	wasInf := s.model.IsInfectious(from)
@@ -428,13 +479,30 @@ func (s *Sim) transitionTo(pid int32, from, to disease.State, infector int32, ti
 		if wasInf {
 			delta = -1
 		}
-		for _, v := range s.csr.Neighbors(pid) {
-			s.infNbrCount[v] += delta
+		if sh == nil || len(s.shards) == 1 {
+			for _, v := range s.csr.Neighbors(pid) {
+				s.bumpInfNbr(v, delta)
+			}
+		} else {
+			ownerWord := s.ownerWord
+			me := uint16(sh.id)
+			for _, v := range s.csr.Neighbors(pid) {
+				if d := ownerWord[uint32(v)>>6]; d == me {
+					s.bumpInfNbr(v, delta)
+				} else {
+					sh.outbox[d] = append(sh.outbox[d], nbrUpdate{pid: v, delta: delta})
+				}
+			}
 		}
 	}
-	s.todayEvents = append(s.todayEvents, TransitionEvent{PID: pid, From: from, To: to, Infector: infector})
-	if s.cfg.Recorder != nil {
-		s.cfg.Recorder.Record(tick, pid, from, to, infector)
+	ev := TransitionEvent{PID: pid, From: from, To: to, Infector: infector}
+	if sh == nil {
+		s.todayEvents = append(s.todayEvents, ev)
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.Record(tick, pid, from, to, infector)
+		}
+	} else {
+		sh.events = append(sh.events, ev)
 	}
 	ag := s.net.Persons[pid].AgeGroup()
 	r := stats.Seeded(s.nodeSeed(pid, tick, phaseProgressionSample))
@@ -449,8 +517,29 @@ func (s *Sim) transitionTo(pid int32, from, to disease.State, infector int32, ti
 	// Progressions scheduled past the horizon can never fire; buckets
 	// within the current day are intentionally left undrained (matching
 	// the reference kernel, whose next scan only matched the next tick).
-	if fire < len(s.progBuckets) {
-		s.progBuckets[fire] = append(s.progBuckets[fire], pid)
+	// The bucket entry always goes to pid's OWNER — for serial-phase
+	// transitions that may not be the calling context's shard.
+	if fire < s.cfg.Days {
+		owner := sh
+		if owner == nil {
+			owner = s.ownerOf(pid)
+		}
+		owner.progBuckets[fire] = append(owner.progBuckets[fire], pid)
+	}
+}
+
+// bumpInfNbr adjusts one node's infectious-neighbor counter and its bit in
+// the at-risk bitset. During the mutate/exchange phases it is only ever
+// called by v's owner shard; 64-aligned shard boundaries make the word
+// write exclusive.
+func (s *Sim) bumpInfNbr(v, delta int32) {
+	c := s.infNbrCount[v] + delta
+	s.infNbrCount[v] = c
+	bit := uint64(1) << (uint32(v) & 63)
+	if c > 0 {
+		s.riskBits[uint32(v)>>6] |= bit
+	} else {
+		s.riskBits[uint32(v)>>6] &^= bit
 	}
 }
 
@@ -542,14 +631,22 @@ func (s *Sim) SetContextWeight(ctx synthpop.Context, factor float64) {
 // ContextWeight returns the current weight factor of a context.
 func (s *Sim) ContextWeight(ctx synthpop.Context) float64 { return s.ctxWeight[ctx] }
 
-// SetGlobalContext enables or disables a context network-wide.
+// SetGlobalContext enables or disables a context network-wide. A call that
+// leaves the mask unchanged (interventions re-assert their context state
+// every active tick) is a no-op and does not schedule the O(n) cached-mask
+// rebuild.
 func (s *Sim) SetGlobalContext(ctx synthpop.Context, enabled bool) {
 	bit := uint8(1) << uint8(ctx)
+	m := s.globalCtxMask
 	if enabled {
-		s.globalCtxMask |= bit
+		m |= bit
 	} else {
-		s.globalCtxMask &^= bit
+		m &^= bit
 	}
+	if m == s.globalCtxMask {
+		return
+	}
+	s.globalCtxMask = m
 	s.maskDirtyAll = true
 }
 

@@ -474,6 +474,7 @@ func (s *Sim) rebuildDerived() {
 	n := s.net.NumNodes()
 	clear(s.effInfBits)
 	clear(s.infNbrCount)
+	clear(s.riskBits)
 	for i := 0; i < n; i++ {
 		s.updateEffInf(int32(i))
 		s.effMaskT[i] = s.effMask(int32(i))
@@ -481,14 +482,21 @@ func (s *Sim) rebuildDerived() {
 	for pid := int32(0); int(pid) < n; pid++ {
 		if s.model.IsInfectious(s.health[pid]) {
 			for _, v := range s.csr.Neighbors(pid) {
-				s.infNbrCount[v]++
+				s.bumpInfNbr(v, 1)
 			}
 		}
 	}
-	s.progBuckets = make([][]int32, s.cfg.Days)
+	// Progression buckets live on their owner shards: the snapshot knows
+	// nothing about shard counts (it serializes canonical node order), so
+	// restore redistributes switchTick into whatever sharding THIS sim
+	// runs — a snapshot taken at shard count A restores at any count B.
+	for si := range s.shards {
+		s.shards[si].progBuckets = make([][]int32, s.cfg.Days)
+	}
 	for pid := int32(0); int(pid) < n; pid++ {
-		if fire := s.switchTick[pid]; fire >= int32(s.ranTo) && int(fire) < len(s.progBuckets) {
-			s.progBuckets[fire] = append(s.progBuckets[fire], pid)
+		if fire := s.switchTick[pid]; fire >= int32(s.ranTo) && int(fire) < s.cfg.Days {
+			sh := s.ownerOf(pid)
+			sh.progBuckets[fire] = append(sh.progBuckets[fire], pid)
 		}
 	}
 	s.isolExpiry = make([][]int32, s.cfg.Days)

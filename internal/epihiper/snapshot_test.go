@@ -1,6 +1,7 @@
 package epihiper
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -146,6 +147,10 @@ func TestSnapshotEquivalenceProperty(t *testing.T) {
 			pivot := 1 + r.Intn(days-1)
 			simSeed := r.Uint64()
 			par := 1 + 3*r.Intn(2) // 1 or 4
+			// The restored branch runs at an independently drawn shard
+			// count: snapshots are canonical-node-order and must cross
+			// shard layouts freely.
+			parB := []int{1, 2, 4, 8}[r.Intn(4)]
 			stackSeed := r.Int63()
 			mkStack := func() []Intervention {
 				return randomStack(rand.New(rand.NewSource(stackSeed)), days)
@@ -174,7 +179,7 @@ func TestSnapshotEquivalenceProperty(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			simB, err := NewFromSnapshot(snapCfg(net, days, par, simSeed, mkStack(), recSplit), snap)
+			simB, err := NewFromSnapshot(snapCfg(net, days, parB, simSeed, mkStack(), recSplit), snap)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -190,12 +195,12 @@ func TestSnapshotEquivalenceProperty(t *testing.T) {
 				t.Fatalf("days=%d pivot=%d: reference run produced no events; the trial is vacuous", days, pivot)
 			}
 			if recRef.h != recSplit.h || recRef.count != recSplit.count {
-				t.Errorf("days=%d pivot=%d par=%d: transition streams differ: scratch %d events hash %#x, branched %d events hash %#x",
-					days, pivot, par, recRef.count, recRef.h, recSplit.count, recSplit.h)
+				t.Errorf("days=%d pivot=%d par=%d→%d: transition streams differ: scratch %d events hash %#x, branched %d events hash %#x",
+					days, pivot, par, parB, recRef.count, recRef.h, recSplit.count, recSplit.h)
 			}
 			if dRef, dSplit := resultDigest(resRef), resultDigest(resSplit); dRef != dSplit {
-				t.Errorf("days=%d pivot=%d par=%d: result digests differ: scratch %#x, branched %#x",
-					days, pivot, par, dRef, dSplit)
+				t.Errorf("days=%d pivot=%d par=%d→%d: result digests differ: scratch %#x, branched %#x",
+					days, pivot, par, parB, dRef, dSplit)
 			}
 			requireFinalStateEqual(t, simRef, simB)
 		})
@@ -488,9 +493,11 @@ func TestSwapInterventionsTransfersState(t *testing.T) {
 	}
 }
 
-// FuzzSnapshotRoundTrip: arbitrary bytes fed to Restore must either load
-// cleanly or error — never panic, never OOM. A successfully restored
-// snapshot must re-serialize.
+// FuzzSnapshotRoundTrip: arbitrary bytes fed to Restore — into a sim at an
+// arbitrary shard count — must either load cleanly or error: never panic,
+// never OOM. A successfully restored snapshot must re-serialize, and the
+// re-serialization must be byte-identical regardless of the restoring
+// sim's shard count (EPSNAP is canonical node order, never shard layout).
 func FuzzSnapshotRoundTrip(f *testing.F) {
 	net := smallNetwork(f)
 	sim, err := New(snapCfg(net, 20, 1, 33, BaseCaseInterventions(5, 15, 0.3, 0.4), nil))
@@ -504,21 +511,39 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(snap)
-	f.Add(snap[:len(snap)-5])
-	f.Add([]byte(snapMagic))
-	f.Add([]byte{})
+	f.Add(snap, uint8(1))
+	f.Add(snap, uint8(4))
+	f.Add(snap, uint8(8))
+	f.Add(snap[:len(snap)-5], uint8(2))
+	f.Add([]byte(snapMagic), uint8(3))
+	f.Add([]byte{}, uint8(0))
 
-	f.Fuzz(func(t *testing.T, data []byte) {
-		s, err := newSim(snapCfg(net, 20, 1, 33, BaseCaseInterventions(5, 15, 0.3, 0.4), nil))
+	f.Fuzz(func(t *testing.T, data []byte, shardByte uint8) {
+		shards := 1 + int(shardByte%8)
+		s, err := newSim(snapCfg(net, 20, shards, 33, BaseCaseInterventions(5, 15, 0.3, 0.4), nil))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Restore(data); err != nil {
 			return // rejected: fine
 		}
-		if _, err := s.Snapshot(); err != nil {
+		out, err := s.Snapshot()
+		if err != nil {
 			t.Fatalf("restored snapshot does not re-serialize: %v", err)
+		}
+		s1, err := newSim(snapCfg(net, 20, 1, 33, BaseCaseInterventions(5, 15, 0.3, 0.4), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s1.Restore(data); err != nil {
+			t.Fatalf("snapshot restores at %d shards but not at 1: %v", shards, err)
+		}
+		out1, err := s1.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out1) {
+			t.Fatalf("re-serialization differs between %d shards and 1 shard", shards)
 		}
 	})
 }

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardsHintNeverSplitsCache pins the cache-key invariance of the
+// shards execution hint: the engine is bit-identical at any shard count,
+// so two specs differing only in "shards" denote the same computation and
+// must share one content address (and the canonical form must not mention
+// the field at all).
+func TestShardsHintNeverSplitsCache(t *testing.T) {
+	base, err := Spec{Workflow: "prediction", State: "VA", Days: 60}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	href, err := base.Hash("fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 4, 8, 256} {
+		s, err := Spec{Workflow: "prediction", State: "VA", Days: 60, Shards: n}.Normalize()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if s.Shards != 0 {
+			t.Fatalf("shards=%d survived normalization", s.Shards)
+		}
+		canon, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(canon), "shards") {
+			t.Fatalf("canonical JSON leaked the execution hint: %s", canon)
+		}
+		h, err := s.Hash("fp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != href {
+			t.Fatalf("shards=%d changed the content address: %s != %s", n, h, href)
+		}
+	}
+	for _, n := range []int{-1, 257, 1 << 20} {
+		if _, err := (Spec{Workflow: "prediction", State: "VA", Shards: n}).Normalize(); err == nil {
+			t.Fatalf("shards=%d: want validation error", n)
+		}
+	}
+}

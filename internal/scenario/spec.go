@@ -141,6 +141,13 @@ type Spec struct {
 	// acceptable 95% relative error of a surrogate answer. Defaults to 0.1
 	// under fidelity=auto; meaningless (and cleared) otherwise.
 	MaxUncertainty float64 `json:"max_uncertainty,omitempty"`
+	// Shards is the simulator shard count the client suggests. It is an
+	// execution hint only — results are bit-identical at any shard count
+	// (the engine's determinism contract) — so normalization validates and
+	// then CLEARS it: a hint must never split the content-addressed result
+	// cache between requests that denote the same computation. The
+	// server's -shards flag governs the pipeline's actual shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // defaultConfigs is the spread cmd/predict uses when no posterior is given.
@@ -158,6 +165,10 @@ func defaultConfigs() []ParamSpec {
 // the spec is invalid or exceeds the admission bounds. Hashing and
 // execution both operate on the normalized spec.
 func (s Spec) Normalize() (Spec, error) {
+	if s.Shards < 0 || s.Shards > 256 {
+		return s, fmt.Errorf("scenario: shards %d outside [0, 256]", s.Shards)
+	}
+	s.Shards = 0 // execution hint: never part of the spec's identity
 	s.Workflow = strings.ToLower(strings.TrimSpace(s.Workflow))
 	switch s.Workflow {
 	case WorkflowPrediction, WorkflowWhatIf:

@@ -69,6 +69,27 @@ type Network struct {
 
 	csrOnce sync.Once
 	csr     *CSR
+
+	byCountyOnce sync.Once
+	byCounty     map[int32][]int32
+}
+
+// PersonsByCounty returns the person IDs of every county, each list in
+// ascending ID order (the order the seeding machinery draws from). The
+// index is built once and shared: replicate fan-outs construct thousands of
+// sims over one network, and rebuilding the map per sim was a measurable
+// slice of construction time. The returned map and slices are shared — do
+// not mutate.
+func (n *Network) PersonsByCounty() map[int32][]int32 {
+	n.byCountyOnce.Do(func() {
+		m := make(map[int32][]int32)
+		for i := range n.Persons {
+			p := &n.Persons[i]
+			m[p.CountyFIPS] = append(m[p.CountyFIPS], p.ID)
+		}
+		n.byCounty = m
+	})
+	return n.byCounty
 }
 
 // CSR is the compressed-sparse-row view of the adjacency: per-node
@@ -266,6 +287,53 @@ func (n *Network) PartitionNodes(p int, epsilon float64) []Partition {
 		parts = append(parts, Partition{FirstNode: int32(start), LastNode: int32(last), HalfEdges: count})
 	}
 	return parts
+}
+
+// PartitionNodesAligned is PartitionNodes with every partition boundary
+// rounded to the nearest multiple of align. The shard-owned simulator
+// requires 64-aligned ranges so that the per-node bitsets it maintains
+// (infectious-neighbor bits, at-risk bits) never share a word between two
+// owners — each shard then writes its bitset words without atomics. Cut
+// points are rounded to the nearest aligned node; cuts that collide or
+// fall outside (0, n) after rounding are dropped, so fewer than p
+// partitions may be returned for small networks. HalfEdges loads are
+// recomputed from the CSR offsets after rounding.
+func (n *Network) PartitionNodesAligned(p int, epsilon float64, align int) []Partition {
+	parts := n.PartitionNodes(p, epsilon)
+	if align <= 1 || len(parts) <= 1 {
+		return parts
+	}
+	nn := len(n.Adj)
+	a := int32(align)
+	cuts := make([]int32, 0, len(parts)-1)
+	prev := int32(0)
+	for _, part := range parts[:len(parts)-1] {
+		c := part.LastNode + 1
+		c = (c + a/2) / a * a // round to nearest aligned boundary
+		if c <= prev {
+			c = prev + a // keep cuts strictly increasing
+		}
+		if c >= int32(nn) {
+			break
+		}
+		cuts = append(cuts, c)
+		prev = c
+	}
+	csr := n.CSR()
+	out := make([]Partition, 0, len(cuts)+1)
+	start := int32(0)
+	for _, c := range cuts {
+		out = append(out, Partition{
+			FirstNode: start, LastNode: c - 1,
+			HalfEdges: int(csr.Offsets[c] - csr.Offsets[start]),
+		})
+		start = c
+	}
+	out = append(out, Partition{
+		FirstNode: start, LastNode: int32(nn - 1),
+		HalfEdges: int(csr.Offsets[nn] - csr.Offsets[start]),
+	})
+	return out
 }
 
 // PartitionImbalance returns max/mean half-edge load across partitions, a

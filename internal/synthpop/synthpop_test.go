@@ -269,6 +269,62 @@ func TestPartitionNodesCoversAll(t *testing.T) {
 	}
 }
 
+// TestPartitionNodesAligned pins what the shard-owned simulator depends
+// on: every internal boundary lands on an align multiple (so no bitset
+// word has two owners), coverage stays contiguous and complete, and the
+// HalfEdges loads are consistent with the CSR after rounding.
+func TestPartitionNodesAligned(t *testing.T) {
+	va, _ := StateByCode("VA")
+	net, _ := Generate(va, smallConfig(29))
+	csr := net.CSR()
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		for _, align := range []int{1, 8, 64} {
+			parts := net.PartitionNodesAligned(p, 0.05, align)
+			if len(parts) < 1 || len(parts) > p {
+				t.Fatalf("p=%d align=%d: got %d partitions", p, align, len(parts))
+			}
+			next := int32(0)
+			total := 0
+			for i, part := range parts {
+				if part.FirstNode != next {
+					t.Fatalf("p=%d align=%d: gap before partition %d (starts %d, want %d)",
+						p, align, i, part.FirstNode, next)
+				}
+				if align > 1 && part.FirstNode%int32(align) != 0 {
+					t.Fatalf("p=%d align=%d: partition %d starts at unaligned node %d",
+						p, align, i, part.FirstNode)
+				}
+				if part.LastNode < part.FirstNode {
+					t.Fatalf("p=%d align=%d: inverted partition %+v", p, align, part)
+				}
+				if want := int(csr.Offsets[part.LastNode+1] - csr.Offsets[part.FirstNode]); part.HalfEdges != want {
+					t.Fatalf("p=%d align=%d: partition %d carries %d half-edges, CSR says %d",
+						p, align, i, part.HalfEdges, want)
+				}
+				next = part.LastNode + 1
+				total += part.HalfEdges
+			}
+			if int(next) != net.NumNodes() {
+				t.Fatalf("p=%d align=%d: coverage ends at %d of %d", p, align, next, net.NumNodes())
+			}
+			if total != 2*net.NumEdges() {
+				t.Fatalf("p=%d align=%d: half-edges %d want %d", p, align, total, 2*net.NumEdges())
+			}
+		}
+	}
+	// align=1 must be the unrounded partitioner verbatim.
+	plain := net.PartitionNodes(4, 0.05)
+	flat := net.PartitionNodesAligned(4, 0.05, 1)
+	if len(plain) != len(flat) {
+		t.Fatalf("align=1 changed the partition count: %d != %d", len(flat), len(plain))
+	}
+	for i := range plain {
+		if plain[i] != flat[i] {
+			t.Fatalf("align=1 changed partition %d: %+v != %+v", i, flat[i], plain[i])
+		}
+	}
+}
+
 func TestPartitionBalanced(t *testing.T) {
 	ca, _ := StateByCode("CA")
 	cfg := smallConfig(31)
