@@ -51,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fidelity"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/scenario"
 )
 
@@ -71,6 +72,10 @@ func main() {
 		"enable the fidelity ladder (specs with a fidelity field route through emulator/metapop/abm tiers)")
 	fidelityMinFit := flag.Int("fidelity-min-fit", 8, "ABM design points before a family's emulator fits")
 	fidelityCacheMB := flag.Int64("fidelity-cache", 64, "fidelity training-set cache budget in MB")
+	replicas := flag.Int("replicas", 1,
+		"scenario service replicas behind one front door (>1 enables the shared result store, work-stealing and /replicas)")
+	batchWindow := flag.Duration("batch-window", 0,
+		"what-if ensemble batching window under -replicas > 1 (0 disables; e.g. 25ms folds near-identical specs into one run)")
 	flag.Parse()
 
 	effShards := *shards
@@ -90,11 +95,27 @@ func main() {
 		router.RegisterMetrics(reg)
 		defer router.Close()
 	}
-	svc := scenario.NewService(scenario.Config{
+	svcCfg := scenario.Config{
 		Pipeline: p, Workers: *workers, QueueCap: *queueCap, CacheCap: *cacheCap,
 		Registry: reg, Fidelity: router,
-	})
-	var handler http.Handler = scenario.NewServer(svc)
+	}
+	var handler http.Handler
+	var drain func(context.Context) error
+	if *replicas > 1 {
+		coord, err := replica.NewCoordinator(replica.Config{
+			Replicas: *replicas, Base: svcCfg,
+			BatchWindow: *batchWindow, Registry: reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = scenario.NewBackendServer(coord)
+		drain = coord.Drain
+	} else {
+		svc := scenario.NewService(svcCfg)
+		handler = scenario.NewServer(svc)
+		drain = svc.Drain
+	}
 	if *enablePprof {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -109,8 +130,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("episerve listening on %s (workers=%d queue=%d cache=%d scale=1:%d seed=%d)",
-			*addr, *workers, *queueCap, *cacheCap, *scale, *seed)
+		log.Printf("episerve listening on %s (replicas=%d workers=%d queue=%d cache=%d scale=1:%d seed=%d)",
+			*addr, *replicas, *workers, *queueCap, *cacheCap, *scale, *seed)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -128,7 +149,7 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := svc.Drain(ctx); err != nil {
+	if err := drain(ctx); err != nil {
 		log.Printf("drain interrupted, in-flight jobs canceled: %v", err)
 	} else {
 		log.Printf("drained cleanly")

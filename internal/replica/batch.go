@@ -1,0 +1,281 @@
+package replica
+
+import (
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Batching folds near-identical what-if specs — same normalized spec
+// modulo the what-if stack — into one ensemble execution. Soundness rests
+// on the PR 6 equivalence gate: each scenario branches from the shared
+// as-is prefix and is bit-identical to a from-scratch run, so the slice of
+// an ensemble result belonging to one member equals what that member's
+// solo run would have produced. Only legacy-path specs (no fidelity
+// routing) batch: surrogate routing decisions could differ between a
+// member and the merged spec.
+
+// batchable reports whether a normalized spec may join an ensemble batch.
+func batchable(s scenario.Spec) bool {
+	return s.Workflow == scenario.WorkflowWhatIf && s.Fidelity == "" && len(s.WhatIfs) > 0
+}
+
+// batchKey addresses the spec's batch family: the normalized spec with the
+// what-if stack removed, hashed under a domain-separated fingerprint so a
+// family key can never collide with a job hash.
+func (c *Coordinator) batchKey(s scenario.Spec) (string, error) {
+	s.WhatIfs = nil
+	return s.Hash(c.fingerprint + "|batch")
+}
+
+// pendingBatch accumulates members of one batch family during the window.
+// All fields are guarded by Coordinator.mu.
+type pendingBatch struct {
+	c       *Coordinator
+	key     string
+	members []*ticket
+	whatifs []scenario.WhatIfSpec // current union, by member arrival
+	timer   *time.Timer
+	flushed bool
+}
+
+// mergeWhatIfs unions add into base by name. It fails when a name appears
+// with a different definition (those members must run solo) or the union
+// would exceed the spec bound.
+func mergeWhatIfs(base, add []scenario.WhatIfSpec) ([]scenario.WhatIfSpec, bool) {
+	byName := map[string]scenario.WhatIfSpec{}
+	out := append([]scenario.WhatIfSpec(nil), base...)
+	for _, w := range base {
+		byName[w.Name] = w
+	}
+	for _, w := range add {
+		if have, ok := byName[w.Name]; ok {
+			if have != w {
+				return nil, false
+			}
+			continue
+		}
+		byName[w.Name] = w
+		out = append(out, w)
+	}
+	if len(out) > scenario.MaxWhatIfs {
+		return nil, false
+	}
+	return out, true
+}
+
+// enrollLocked places a fresh ticket into its batch family, arming the
+// flush timer on the family's first member. A ticket whose what-ifs cannot
+// merge with the pending batch (name conflict or overflow) flushes that
+// batch early and starts the next one. Caller holds c.mu.
+func (c *Coordinator) enrollLocked(t *ticket) {
+	key, err := c.batchKey(t.spec)
+	if err != nil {
+		// Cannot happen for a normalized spec; dispatch solo to be safe.
+		go func() {
+			if derr := c.dispatch(t); derr != nil {
+				c.finalizeTicket(t, nil, derr)
+			}
+		}()
+		return
+	}
+	b := c.batches[key]
+	if b != nil {
+		if merged, ok := mergeWhatIfs(b.whatifs, t.spec.WhatIfs); ok {
+			b.members = append(b.members, t)
+			b.whatifs = merged
+			t.mu.Lock()
+			t.batch = b
+			t.mu.Unlock()
+			return
+		}
+		// Incompatible member: release the pending batch now and start a
+		// new family window with this ticket.
+		delete(c.batches, key)
+		go b.flush()
+	}
+	b = &pendingBatch{c: c, key: key,
+		members: []*ticket{t},
+		whatifs: append([]scenario.WhatIfSpec(nil), t.spec.WhatIfs...)}
+	b.timer = time.AfterFunc(c.batchWindow, b.flush)
+	c.batches[key] = b
+	t.mu.Lock()
+	t.batch = b
+	t.mu.Unlock()
+}
+
+// remove drops a member before flush (cancelled or abandoned while
+// pending). Caller holds c.mu.
+func (b *pendingBatch) remove(t *ticket) {
+	for i, m := range b.members {
+		if m == t {
+			b.members = append(b.members[:i], b.members[i+1:]...)
+			return
+		}
+	}
+}
+
+// flush closes the window and executes the batch: one member dispatches
+// solo; several members merge into an ensemble spec whose result is sliced
+// back to every waiter and published per-member into the shared store.
+func (b *pendingBatch) flush() {
+	c := b.c
+	c.mu.Lock()
+	if b.flushed {
+		c.mu.Unlock()
+		return
+	}
+	b.flushed = true
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	if c.batches[b.key] == b {
+		delete(c.batches, b.key)
+	}
+	members := append([]*ticket(nil), b.members...)
+	for _, m := range members {
+		m.mu.Lock()
+		m.batch = nil
+		m.mu.Unlock()
+	}
+	c.mu.Unlock()
+
+	switch len(members) {
+	case 0:
+		return
+	case 1:
+		t := members[0]
+		if err := c.dispatch(t); err != nil {
+			c.finalizeTicket(t, nil, err)
+		}
+		return
+	}
+
+	ens, err := c.ensembleTicket(members)
+	if err != nil {
+		for _, m := range members {
+			c.finalizeTicket(m, nil, err)
+		}
+		return
+	}
+	c.batchExecs.Add(1)
+	c.batchMembs.Add(int64(len(members)))
+	go c.fanBack(ens, members)
+}
+
+// ensembleTicket builds (or attaches to) the ticket executing the merged
+// spec, holding one interest reference per member.
+func (c *Coordinator) ensembleTicket(members []*ticket) (*ticket, error) {
+	espec := members[0].spec
+	var merged []scenario.WhatIfSpec
+	for _, m := range members {
+		var ok bool
+		if merged, ok = mergeWhatIfs(merged, m.spec.WhatIfs); !ok {
+			// enrollLocked guarantees mergeability; defend anyway.
+			return nil, scenario.ErrQueueFull
+		}
+	}
+	sortWhatIfs(merged)
+	espec.WhatIfs = merged
+	espec, err := espec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	ehash, err := espec.Hash(c.fingerprint)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	ens, ok := c.tickets[ehash]
+	if ok {
+		ens.mu.Lock()
+		ens.interest += len(members)
+		ens.mu.Unlock()
+	} else {
+		ens = &ticket{c: c, hash: ehash, spec: espec,
+			pri:  scenario.PriorityInteractive,
+			done: make(chan struct{}), interest: len(members)}
+		c.tickets[ehash] = ens
+		c.registry[ehash] = ens
+	}
+	// The merged spec can coincide with one member's own spec (its
+	// what-ifs already cover the union); that member then IS the ensemble
+	// — it must be dispatched like a fresh one, and must not point at
+	// itself.
+	ensIsMember := false
+	for _, m := range members {
+		if m == ens {
+			ensIsMember = true
+			continue
+		}
+		m.mu.Lock()
+		m.ensemble = ens
+		m.mu.Unlock()
+	}
+	c.mu.Unlock()
+	if !ok || ensIsMember {
+		if err := c.dispatch(ens); err != nil {
+			c.finalizeTicket(ens, nil, err)
+			return ens, nil // fanBack propagates the failure to members
+		}
+	}
+	return ens, nil
+}
+
+// fanBack waits for the ensemble and settles every member: on success each
+// member receives the slice of the ensemble result carrying exactly its
+// what-ifs, re-addressed under the member's own hash and published to the
+// shared store so future identical submissions are hits anywhere in the
+// cluster.
+func (c *Coordinator) fanBack(ens *ticket, members []*ticket) {
+	<-ens.done
+	ens.mu.Lock()
+	res, err := ens.result, ens.err
+	ens.mu.Unlock()
+	for _, m := range members {
+		if err != nil {
+			c.finalizeTicket(m, nil, err)
+			continue
+		}
+		mres := sliceResult(res, m.hash, m.spec)
+		c.shared.Put(m.hash, mres)
+		c.finalizeTicket(m, mres, nil)
+	}
+	// Balance the members' interest references on the ensemble (each
+	// finalized member no longer needs it; the ensemble itself is already
+	// terminal, so these are pure bookkeeping).
+	for range members {
+		ens.Release()
+	}
+}
+
+// sliceResult projects an ensemble result onto one member: the member's
+// what-if scenarios in the member's declared order, under the member's own
+// content address.
+func sliceResult(ens *scenario.Result, hash string, spec scenario.Spec) *scenario.Result {
+	out := *ens
+	out.Hash = hash
+	out.Spec = spec
+	byName := map[string]scenario.ScenarioResult{}
+	for _, sc := range ens.Scenarios {
+		byName[sc.Name] = sc
+	}
+	out.Scenarios = nil
+	for _, w := range spec.WhatIfs {
+		if sc, ok := byName[w.Name]; ok {
+			out.Scenarios = append(out.Scenarios, sc)
+		}
+	}
+	return &out
+}
+
+// sortWhatIfs orders the merged stack by name so the ensemble spec is
+// canonical regardless of member arrival order.
+func sortWhatIfs(ws []scenario.WhatIfSpec) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].Name < ws[j-1].Name; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package replica
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// latencyRunner models a fixed service time that honors cancellation — the
+// load-proof stand-in for a real workflow execution. Because the cost is
+// latency-bound rather than CPU-bound, adding replicas (and so workers)
+// must raise sustained throughput even on a single-core host.
+func latencyRunner(d time.Duration) func(int) scenario.Runner {
+	return func(int) scenario.Runner {
+		return func(ctx context.Context, spec scenario.Spec) (*scenario.Result, error) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+				return &scenario.Result{}, nil
+			}
+		}
+	}
+}
+
+// TestLoadProof is the deterministic short profile behind `make loadtest`:
+// 64 concurrent closed-loop clients against a two-replica front door on
+// cache-miss traffic, every request 200, latency percentiles ordered, and
+// the loadgen metrics published into a registry.
+func TestLoadProof(t *testing.T) {
+	const clients, requests = 64, 192
+	c, err := NewCoordinator(Config{
+		Replicas: 2,
+		Base: scenario.Config{
+			Workers: 2, QueueCap: 128, Fingerprint: "loadproof",
+		},
+		RunnerFor: latencyRunner(time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = c.Drain(ctx)
+	}()
+	ts := httptest.NewServer(scenario.NewBackendServer(c))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	rep, err := RunLoadgen(LoadgenConfig{
+		BaseURL: ts.URL, Clients: clients, Requests: requests,
+		Priority: "interactive", Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != requests || rep.Errors != 0 {
+		t.Fatalf("ok=%d errors=%d dist=%v, want all %d OK", rep.OK, rep.Errors, rep.StatusDist, requests)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("percentiles out of order: p50=%s p99=%s", rep.P50, rep.P99)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput %.2f, want > 0", rep.Throughput)
+	}
+	// Every request was a distinct spec: the cluster computed all of them.
+	snap := c.MetricsSnapshot()
+	if snap.Submitted != requests {
+		t.Fatalf("cluster submitted %d, want %d cache misses", snap.Submitted, requests)
+	}
+	t.Logf("load proof: p50=%s p99=%s throughput=%.1f req/s", rep.P50, rep.P99, rep.Throughput)
+}
+
+// TestRunLoadgenFixedSpecHitsCache pins the -fixed profile: one identical
+// spec from every client rides the single-flight/cache path, so the
+// cluster runs it at most a handful of times, not once per request.
+func TestRunLoadgenFixedSpecHitsCache(t *testing.T) {
+	c, err := NewCoordinator(Config{
+		Replicas:  2,
+		Base:      scenario.Config{Workers: 1, QueueCap: 32, Fingerprint: "loadfixed"},
+		RunnerFor: latencyRunner(time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = c.Drain(ctx)
+	}()
+	ts := httptest.NewServer(scenario.NewBackendServer(c))
+	defer ts.Close()
+
+	fixed := predSpec("VA", 30)
+	rep, err := RunLoadgen(LoadgenConfig{
+		BaseURL: ts.URL, Clients: 16, Requests: 64,
+		SpecFor: func(int, int) scenario.Spec { return fixed },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 64 {
+		t.Fatalf("ok=%d dist=%v, want 64", rep.OK, rep.StatusDist)
+	}
+	snap := c.MetricsSnapshot()
+	st := c.ReplicaStatus().(ClusterStatus)
+	if snap.Submitted > 2 || st.Dispatched > 2 {
+		t.Fatalf("fixed spec executed %d times (dispatched %d), want ≤2 (dedup + shared store)",
+			snap.Submitted, st.Dispatched)
+	}
+}

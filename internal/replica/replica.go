@@ -1,0 +1,758 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/castore"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Replicas is the number of scenario.Service replicas to run (default 2).
+	Replicas int
+	// Base is the per-replica service configuration. Its Registry is
+	// ignored: each replica gets a private registry (the obs registry's
+	// GaugeFunc re-registration semantics make sharing one across replicas
+	// unsound), and the coordinator's registry carries the aggregate and
+	// per-replica labeled series instead. Its Shared field is likewise
+	// overridden with the coordinator's store.
+	Base scenario.Config
+	// RunnerFor overrides Base.Runner per replica (chaos tests give each
+	// replica a distinguishable runner). Nil uses Base.Runner everywhere.
+	RunnerFor func(i int) scenario.Runner
+	// Shared is the peer-visible result store; nil allocates one with
+	// SharedCap entries.
+	Shared *castore.Store[*scenario.Result]
+	// SharedCap sizes the allocated store (default 512).
+	SharedCap int
+	// BatchWindow is how long a batchable what-if spec waits for
+	// near-identical peers before dispatch; 0 disables batching.
+	BatchWindow time.Duration
+	// RebalanceEvery is the work-stealing scan period (default 25ms; <0
+	// disables the background loop — tests drive RebalanceOnce directly).
+	RebalanceEvery time.Duration
+	// Registry receives the coordinator's metric series; nil allocates a
+	// private one.
+	Registry *obs.Registry
+}
+
+// replicaHandle pairs a service with its cluster bookkeeping.
+type replicaHandle struct {
+	id   int
+	svc  *scenario.Service
+	down atomic.Bool
+}
+
+// Coordinator fronts N replicas as one scenario.Backend.
+type Coordinator struct {
+	fingerprint string
+	shared      *castore.Store[*scenario.Result]
+	reg         *obs.Registry
+	replicas    []*replicaHandle
+	batchWindow time.Duration
+
+	dispatched atomic.Int64 // jobs handed to a replica
+	steals     atomic.Int64 // queued jobs moved to an idle peer
+	requeues   atomic.Int64 // jobs resubmitted after a replica death
+	batchExecs atomic.Int64 // ensemble executions flushed
+	batchMembs atomic.Int64 // member specs folded into ensembles
+
+	mu       sync.Mutex         // guards the maps below; order: Coordinator.mu → ticket.mu
+	tickets  map[string]*ticket // live (unfinalized) tickets by hash
+	registry map[string]*ticket // live + recently finalized, for Lookup
+	recent   []*ticket
+	batches  map[string]*pendingBatch
+	draining bool
+
+	stopRebalance chan struct{}
+	rebalanceDone chan struct{}
+}
+
+// recentCap bounds how many finalized tickets stay pollable (results live
+// on in the shared store beyond this).
+const recentCap = 256
+
+// NewCoordinator builds the replica set and starts the rebalance loop.
+// Callers must Drain it.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.SharedCap <= 0 {
+		cfg.SharedCap = 512
+	}
+	shared := cfg.Shared
+	if shared == nil {
+		shared = castore.New(castore.WithMaxEntries[*scenario.Result](cfg.SharedCap))
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Coordinator{
+		shared:        shared,
+		reg:           reg,
+		batchWindow:   cfg.BatchWindow,
+		tickets:       map[string]*ticket{},
+		registry:      map[string]*ticket{},
+		batches:       map[string]*pendingBatch{},
+		stopRebalance: make(chan struct{}),
+		rebalanceDone: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		sc := cfg.Base
+		sc.Registry = nil // private per replica; see Config.Base
+		sc.Shared = shared
+		if cfg.RunnerFor != nil {
+			sc.Runner = cfg.RunnerFor(i)
+		}
+		svc := scenario.NewService(sc)
+		if i > 0 && svc.Fingerprint() != c.replicas[0].svc.Fingerprint() {
+			return nil, fmt.Errorf("replica: fingerprint mismatch between replicas 0 and %d", i)
+		}
+		c.replicas = append(c.replicas, &replicaHandle{id: i, svc: svc})
+	}
+	c.fingerprint = c.replicas[0].svc.Fingerprint()
+	c.registerMetrics()
+	every := cfg.RebalanceEvery
+	if every == 0 {
+		every = 25 * time.Millisecond
+	}
+	if every > 0 {
+		go c.rebalanceLoop(every)
+	} else {
+		close(c.rebalanceDone)
+	}
+	return c, nil
+}
+
+// Replicas returns the number of replicas (up or down).
+func (c *Coordinator) Replicas() int { return len(c.replicas) }
+
+// Registry returns the coordinator's metric registry (scenario.Backend).
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// Submit admits a spec at a priority class (scenario.Backend). The flow
+// mirrors Service.SubmitPri one level up: shared-store hit → coordinator
+// single-flight attach → aggregate admission control → batch or dispatch.
+func (c *Coordinator) Submit(spec scenario.Spec, pri scenario.Priority) (scenario.Handle, error) {
+	ns, err := spec.Normalize()
+	if err != nil {
+		return nil, &scenario.BadSpecError{Err: err}
+	}
+	hash, err := ns.Hash(c.fingerprint)
+	if err != nil {
+		return nil, &scenario.BadSpecError{Err: err}
+	}
+	if res, ok := c.shared.Get(hash); ok {
+		return terminalTicket(hash, res), nil
+	}
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return nil, scenario.ErrDraining
+	}
+	if t, ok := c.tickets[hash]; ok {
+		t.mu.Lock()
+		t.interest++
+		t.shared++
+		t.mu.Unlock()
+		c.mu.Unlock()
+		return t, nil
+	}
+	if err := c.admitLocked(pri); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	t := &ticket{c: c, hash: hash, spec: ns, pri: pri,
+		done: make(chan struct{}), interest: 1}
+	c.tickets[hash] = t
+	c.registry[hash] = t
+	if c.batchWindow > 0 && batchable(ns) {
+		c.enrollLocked(t)
+		c.mu.Unlock()
+		return t, nil
+	}
+	c.mu.Unlock()
+	if err := c.dispatch(t); err != nil {
+		c.dropTicket(t)
+		return nil, err
+	}
+	return t, nil
+}
+
+// admitLocked applies priority budgets over the aggregate queue of the up
+// replicas — the same class shape Service.admitLocked uses per replica, so
+// a one-replica cluster admits exactly like a bare service. Caller holds
+// c.mu.
+func (c *Coordinator) admitLocked(pri scenario.Priority) error {
+	queued, capacity := 0, 0
+	for _, r := range c.replicas {
+		if r.down.Load() {
+			continue
+		}
+		q, _ := r.svc.Loads()
+		queued += q
+		capacity += r.svc.QueueCap()
+	}
+	if capacity == 0 {
+		return scenario.ErrDraining // every replica down or draining
+	}
+	if queued >= capacity {
+		return scenario.ErrQueueFull
+	}
+	var budget int
+	switch pri {
+	case scenario.PriorityBatch:
+		budget = (capacity + 1) / 2
+	case scenario.PriorityNormal:
+		budget = capacity - capacity/8
+	default:
+		return nil
+	}
+	if queued >= budget {
+		return &scenario.ShedError{Class: pri, Depth: queued, Capacity: capacity}
+	}
+	return nil
+}
+
+// dropTicket removes a never-dispatched ticket after an admission failure.
+func (c *Coordinator) dropTicket(t *ticket) {
+	c.mu.Lock()
+	delete(c.tickets, t.hash)
+	if c.registry[t.hash] == t {
+		delete(c.registry, t.hash)
+	}
+	c.mu.Unlock()
+}
+
+// upCandidates returns the up replicas ordered by load (queued+running,
+// normalized by worker count), least-loaded first.
+func (c *Coordinator) upCandidates() []*replicaHandle {
+	var up []*replicaHandle
+	loads := map[int]float64{}
+	for _, r := range c.replicas {
+		if r.down.Load() {
+			continue
+		}
+		q, run := r.svc.Loads()
+		loads[r.id] = float64(q+run) / float64(r.svc.Workers())
+		up = append(up, r)
+	}
+	sort.Slice(up, func(i, j int) bool {
+		if loads[up[i].id] != loads[up[j].id] {
+			return loads[up[i].id] < loads[up[j].id]
+		}
+		return up[i].id < up[j].id
+	})
+	return up
+}
+
+// dispatch submits a ticket's spec to the least-loaded up replica and
+// starts a watcher. The coordinator is the sole admission point, so the
+// underlying submission always rides the interactive class — class budgets
+// were already applied over the aggregate queue, and double-applying them
+// per replica would shed admitted work.
+func (c *Coordinator) dispatch(t *ticket) error {
+	for _, rep := range c.upCandidates() {
+		j, err := rep.svc.SubmitPri(t.spec, scenario.PriorityInteractive)
+		switch {
+		case err == nil:
+			t.mu.Lock()
+			t.job, t.rep = j, rep
+			canceled := t.clientCanceled
+			t.mu.Unlock()
+			c.dispatched.Add(1)
+			go c.watch(t, rep, j)
+			if canceled {
+				rep.svc.Cancel(t.hash)
+			}
+			return nil
+		case errors.Is(err, scenario.ErrQueueFull), errors.Is(err, scenario.ErrDraining):
+			continue // try the next replica
+		default:
+			return err
+		}
+	}
+	return scenario.ErrQueueFull
+}
+
+// watch waits for a ticket's current job and settles the outcome: a stolen
+// job is someone else's problem (the steal path owns the redispatch), a job
+// cancelled by a replica death is requeued on a peer, anything else
+// finalizes the ticket.
+func (c *Coordinator) watch(t *ticket, rep *replicaHandle, j *scenario.Job) {
+	res, err := j.Wait(context.Background())
+	if errors.Is(err, scenario.ErrStolen) {
+		return
+	}
+	t.mu.Lock()
+	if t.finalized || t.job != j {
+		t.mu.Unlock()
+		return
+	}
+	clientCanceled := t.clientCanceled
+	t.mu.Unlock()
+	if err != nil && isCancel(err) && rep.down.Load() && !clientCanceled {
+		// The replica died under the job, not the client under the
+		// request: move the work to a peer. The old job is already
+		// terminal, so the spec is not running anywhere during the hop.
+		t.mu.Lock()
+		t.job, t.rep = nil, nil
+		t.mu.Unlock()
+		c.requeues.Add(1)
+		if derr := c.dispatch(t); derr != nil {
+			c.finalizeTicket(t, nil, derr)
+		}
+		return
+	}
+	c.finalizeTicket(t, res, err)
+}
+
+// finalizeTicket settles a ticket exactly once and retires it from the
+// live table. The underlying job (if any) is released to balance the
+// coordinator's dispatch-time interest reference.
+func (c *Coordinator) finalizeTicket(t *ticket, res *scenario.Result, err error) {
+	c.mu.Lock()
+	t.mu.Lock()
+	if t.finalized {
+		t.mu.Unlock()
+		c.mu.Unlock()
+		return
+	}
+	t.finalized = true
+	t.result, t.err = res, err
+	j := t.job
+	t.job, t.rep = nil, nil
+	close(t.done)
+	if c.tickets[t.hash] == t {
+		delete(c.tickets, t.hash)
+	}
+	c.recent = append(c.recent, t)
+	for len(c.recent) > recentCap {
+		old := c.recent[0]
+		c.recent = c.recent[1:]
+		if c.registry[old.hash] == old {
+			delete(c.registry, old.hash)
+		}
+	}
+	t.mu.Unlock()
+	c.mu.Unlock()
+	if j != nil {
+		j.Release()
+	}
+}
+
+// releaseTicket drops one client interest reference; the last release of an
+// unpinned live ticket cancels the work wherever it currently is.
+func (c *Coordinator) releaseTicket(t *ticket) {
+	c.mu.Lock()
+	t.mu.Lock()
+	t.interest--
+	abandon := t.interest <= 0 && !t.pinned && !t.finalized
+	if !abandon {
+		t.mu.Unlock()
+		c.mu.Unlock()
+		return
+	}
+	t.clientCanceled = true
+	c.abandonLocked(t)
+}
+
+// abandonLocked cancels a live ticket's work. Caller holds c.mu and t.mu;
+// both are released before returning.
+func (c *Coordinator) abandonLocked(t *ticket) {
+	switch {
+	case t.batch != nil:
+		// Still pending in a batch: pull it out and finalize directly.
+		t.batch.remove(t)
+		t.batch = nil
+		t.mu.Unlock()
+		c.mu.Unlock()
+		c.finalizeTicket(t, nil, context.Canceled)
+	case t.ensemble != nil:
+		ens := t.ensemble
+		t.mu.Unlock()
+		c.mu.Unlock()
+		c.finalizeTicket(t, nil, context.Canceled)
+		ens.Release() // last member out cancels the ensemble execution
+	case t.job != nil:
+		rep, hash := t.rep, t.hash
+		t.mu.Unlock()
+		c.mu.Unlock()
+		rep.svc.Cancel(hash) // watcher observes the cancellation and finalizes
+	default:
+		// Dispatch in flight (migrating); the clientCanceled flag makes the
+		// dispatcher cancel the fresh job as soon as it exists.
+		t.mu.Unlock()
+		c.mu.Unlock()
+	}
+}
+
+// Lookup resolves an ID to a handle with no interest reference
+// (scenario.Backend): live and recently finalized tickets first, then the
+// shared store.
+func (c *Coordinator) Lookup(id string) (scenario.Handle, bool) {
+	c.mu.Lock()
+	t, ok := c.registry[id]
+	c.mu.Unlock()
+	if ok {
+		return t, true
+	}
+	if res, ok := c.shared.Peek(id); ok {
+		return terminalTicket(id, res), true
+	}
+	return nil, false
+}
+
+// Cancel cancels a live submission by ID (scenario.Backend).
+func (c *Coordinator) Cancel(id string) bool {
+	c.mu.Lock()
+	t, ok := c.registry[id]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	t.mu.Lock()
+	if t.finalized {
+		t.mu.Unlock()
+		c.mu.Unlock()
+		return false
+	}
+	t.clientCanceled = true
+	c.abandonLocked(t) // releases both locks
+	return true
+}
+
+// Draining reports whether cluster shutdown has begun (scenario.Backend).
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Readiness aggregates replica readiness (scenario.Backend): the cluster
+// is ready while at least one up replica is ready, and reports summed
+// worker counts so operators see capacity at a glance.
+func (c *Coordinator) Readiness() scenario.Readiness {
+	agg := scenario.Readiness{Draining: c.Draining()}
+	for _, r := range c.replicas {
+		if r.down.Load() {
+			continue
+		}
+		rr := r.svc.Readiness()
+		agg.WorkersUp += rr.WorkersUp
+		agg.WorkersSet += rr.WorkersSet
+		if rr.Ready {
+			agg.Ready = true
+		}
+		if rr.Fidelity != nil && agg.Fidelity == nil {
+			agg.Fidelity = rr.Fidelity
+		}
+	}
+	if agg.Draining {
+		agg.Ready = false
+	}
+	return agg
+}
+
+// MetricsSnapshot merges the replicas' snapshots into one cluster view
+// (scenario.Backend): counters and job totals sum, queue capacity and
+// workers sum, per-workflow latency histograms merge bucket-wise (every
+// replica uses the same bounds), and cache stats aggregate.
+func (c *Coordinator) MetricsSnapshot() scenario.Snapshot {
+	agg := scenario.Snapshot{
+		Jobs:    map[string]int64{},
+		Latency: map[string]scenario.HistogramSnapshot{},
+	}
+	agg.Draining = c.Draining()
+	for _, r := range c.replicas {
+		s := r.svc.MetricsSnapshot()
+		agg.QueueDepth += s.QueueDepth
+		agg.QueueCapacity += s.QueueCapacity
+		agg.Workers += s.Workers
+		agg.Submitted += s.Submitted
+		agg.Rejected += s.Rejected
+		agg.Deduped += s.Deduped
+		agg.Shed += s.Shed
+		agg.SharedHits += s.SharedHits
+		for k, v := range s.Jobs {
+			agg.Jobs[k] += v
+		}
+		for wf, h := range s.Latency {
+			agg.Latency[wf] = mergeHistograms(agg.Latency[wf], h)
+		}
+		agg.Cache.Entries += s.Cache.Entries
+		agg.Cache.Capacity += s.Cache.Capacity
+		agg.Cache.Hits += s.Cache.Hits
+		agg.Cache.Misses += s.Cache.Misses
+		agg.Cache.Evictions += s.Cache.Evictions
+	}
+	if lookups := agg.Cache.Hits + agg.Cache.Misses; lookups > 0 {
+		agg.Cache.HitRatio = float64(agg.Cache.Hits) / float64(lookups)
+	}
+	agg.Jobs["stolen"] += 0 // present even before the first steal
+	return agg
+}
+
+// mergeHistograms adds b into a bucket-wise; both sides come from the same
+// latencyBounds, so counts align by index (an empty a adopts b's shape).
+func mergeHistograms(a, b scenario.HistogramSnapshot) scenario.HistogramSnapshot {
+	if len(a.Buckets) == 0 {
+		return b
+	}
+	a.Count += b.Count
+	a.SumSeconds += b.SumSeconds
+	for i := range a.Buckets {
+		if i < len(b.Buckets) {
+			a.Buckets[i].Count += b.Buckets[i].Count
+		}
+	}
+	return a
+}
+
+// ReplicaInfo is one replica's row in the /replicas payload.
+type ReplicaInfo struct {
+	ID       int  `json:"id"`
+	Up       bool `json:"up"`
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+	Workers  int  `json:"workers"`
+	QueueCap int  `json:"queue_cap"`
+}
+
+// ClusterStatus is the /replicas payload.
+type ClusterStatus struct {
+	Replicas    []ReplicaInfo `json:"replicas"`
+	LiveTickets int           `json:"live_tickets"`
+	Dispatched  int64         `json:"dispatched"`
+	Steals      int64         `json:"steals"`
+	Requeues    int64         `json:"requeues"`
+	BatchExecs  int64         `json:"batch_execs"`
+	BatchMembs  int64         `json:"batch_members"`
+	SharedKeys  int           `json:"shared_keys"`
+}
+
+// ReplicaStatus implements the HTTP layer's optional /replicas extension.
+func (c *Coordinator) ReplicaStatus() any {
+	st := ClusterStatus{
+		Dispatched: c.dispatched.Load(),
+		Steals:     c.steals.Load(),
+		Requeues:   c.requeues.Load(),
+		BatchExecs: c.batchExecs.Load(),
+		BatchMembs: c.batchMembs.Load(),
+		SharedKeys: len(c.shared.Keys()),
+	}
+	for _, r := range c.replicas {
+		q, run := r.svc.Loads()
+		st.Replicas = append(st.Replicas, ReplicaInfo{
+			ID: r.id, Up: !r.down.Load(), Queued: q, Running: run,
+			Workers: r.svc.Workers(), QueueCap: r.svc.QueueCap(),
+		})
+	}
+	c.mu.Lock()
+	st.LiveTickets = len(c.tickets)
+	c.mu.Unlock()
+	return st
+}
+
+// KillReplica simulates a crash of replica i: the replica is marked down
+// (no new dispatches, steals, or submissions land on it) and every job it
+// holds — queued or running — is cancelled via an already-expired drain.
+// Watchers observe the cancellations and requeue the work on up peers, so
+// no waiter is lost and no spec runs twice. Returns false for an unknown
+// or already-down replica.
+func (c *Coordinator) KillReplica(i int) bool {
+	if i < 0 || i >= len(c.replicas) {
+		return false
+	}
+	rep := c.replicas[i]
+	if !rep.down.CompareAndSwap(false, true) {
+		return false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	go func() { _ = rep.svc.Drain(ctx) }()
+	return true
+}
+
+// rebalanceLoop periodically moves queued work from hot replicas to idle
+// peers.
+func (c *Coordinator) rebalanceLoop(every time.Duration) {
+	defer close(c.rebalanceDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopRebalance:
+			return
+		case <-tick.C:
+			c.RebalanceOnce()
+		}
+	}
+}
+
+// RebalanceOnce performs one work-stealing scan: while some up replica has
+// an idle worker and another has a backlog, a queued job moves over. The
+// steal finalizes the donor's job (ErrStolen) before the new dispatch
+// exists, so single-flight holds: one canonical owner per hash, always.
+// Returns the number of jobs moved.
+func (c *Coordinator) RebalanceOnce() int {
+	moved := 0
+	for {
+		var donor, idle *replicaHandle
+		for _, r := range c.upCandidates() {
+			q, run := r.svc.Loads()
+			if q > 0 && donor == nil {
+				donor = r
+			}
+			if q == 0 && run < r.svc.Workers() && idle == nil {
+				idle = r
+			}
+		}
+		if donor == nil || idle == nil || donor == idle {
+			return moved
+		}
+		if !c.stealOne(donor, idle) {
+			return moved
+		}
+		moved++
+	}
+}
+
+// stealOne moves one queued ticket from donor to idle. Returns false when
+// no queued ticket on donor could be claimed.
+func (c *Coordinator) stealOne(donor, idle *replicaHandle) bool {
+	// Snapshot donor-owned tickets; claims race benignly with completion
+	// (StealQueued refuses anything not still queued).
+	c.mu.Lock()
+	var candidates []*ticket
+	for _, t := range c.tickets {
+		t.mu.Lock()
+		if !t.finalized && t.rep == donor && t.job != nil {
+			candidates = append(candidates, t)
+		}
+		t.mu.Unlock()
+	}
+	c.mu.Unlock()
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].hash < candidates[j].hash })
+	for _, t := range candidates {
+		spec, ok := donor.svc.StealQueued(t.hash)
+		if !ok {
+			continue // already running or finished where it is
+		}
+		// The donor's job is finalized with ErrStolen; its watcher stands
+		// down. Redispatch onto the idle peer.
+		t.mu.Lock()
+		t.job, t.rep = nil, nil
+		canceled := t.clientCanceled
+		t.mu.Unlock()
+		c.steals.Add(1)
+		if canceled {
+			c.finalizeTicket(t, nil, context.Canceled)
+			return true
+		}
+		j, err := idle.svc.SubmitPri(spec, scenario.PriorityInteractive)
+		if err != nil {
+			// Idle peer refused (raced with other load); fall back to any
+			// up replica, and as a last resort finalize with the error so
+			// no waiter hangs.
+			if derr := c.dispatch(t); derr != nil {
+				c.finalizeTicket(t, nil, derr)
+			}
+			return true
+		}
+		t.mu.Lock()
+		t.job, t.rep = j, idle
+		canceled = t.clientCanceled
+		t.mu.Unlock()
+		c.dispatched.Add(1)
+		go c.watch(t, idle, j)
+		if canceled {
+			idle.svc.Cancel(t.hash)
+		}
+		return true
+	}
+	return false
+}
+
+// Drain gracefully shuts the cluster down: pending batches flush, new
+// submissions are rejected, and every replica drains under ctx. Replica
+// drain errors are joined.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	already := c.draining
+	c.draining = true
+	var toFlush []*pendingBatch
+	for _, b := range c.batches {
+		toFlush = append(toFlush, b)
+	}
+	c.mu.Unlock()
+	if !already {
+		close(c.stopRebalance)
+	}
+	<-c.rebalanceDone
+	for _, b := range toFlush {
+		b.flush()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.replicas))
+	for i, r := range c.replicas {
+		if r.down.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, r *replicaHandle) {
+			defer wg.Done()
+			errs[i] = r.svc.Drain(ctx)
+		}(i, r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// registerMetrics wires the cluster series onto the coordinator registry:
+// per-replica labeled gauges plus coordinator-level counters.
+func (c *Coordinator) registerMetrics() {
+	reg := c.reg
+	reg.Help("epi_replica_queue_depth", "queued jobs per replica")
+	reg.Help("epi_replica_running", "running jobs per replica")
+	reg.Help("epi_replica_up", "1 while the replica accepts work")
+	for _, r := range c.replicas {
+		rep := r
+		label := fmt.Sprintf(`{replica="%d"}`, rep.id)
+		reg.GaugeFunc("epi_replica_queue_depth"+label, func() float64 {
+			q, _ := rep.svc.Loads()
+			return float64(q)
+		})
+		reg.GaugeFunc("epi_replica_running"+label, func() float64 {
+			_, run := rep.svc.Loads()
+			return float64(run)
+		})
+		reg.GaugeFunc("epi_replica_up"+label, func() float64 {
+			if rep.down.Load() {
+				return 0
+			}
+			return 1
+		})
+	}
+	reg.Help("epi_replica_dispatched_total", "jobs dispatched to replicas")
+	reg.CounterFunc("epi_replica_dispatched_total", func() float64 { return float64(c.dispatched.Load()) })
+	reg.Help("epi_replica_steals_total", "queued jobs stolen onto idle peers")
+	reg.CounterFunc("epi_replica_steals_total", func() float64 { return float64(c.steals.Load()) })
+	reg.Help("epi_replica_requeues_total", "jobs requeued after a replica death")
+	reg.CounterFunc("epi_replica_requeues_total", func() float64 { return float64(c.requeues.Load()) })
+	reg.Help("epi_replica_batch_execs_total", "ensemble executions flushed by the batcher")
+	reg.CounterFunc("epi_replica_batch_execs_total", func() float64 { return float64(c.batchExecs.Load()) })
+	reg.Help("epi_replica_batch_members_total", "member specs folded into ensembles")
+	reg.CounterFunc("epi_replica_batch_members_total", func() float64 { return float64(c.batchMembs.Load()) })
+	c.shared.RegisterMetrics(reg, "epi_replica_shared")
+}

@@ -1,0 +1,154 @@
+// Package replica runs N scenario.Service replicas behind one front door.
+// The coordinator owns a second single-flight layer (tickets, keyed by the
+// same content addresses the services use), a peer-shared result store so
+// any replica serves any cached hash, work-stealing that drains a hot
+// replica's backlog onto idle peers, windowed batching of near-identical
+// what-if specs into one ensemble execution, and priority-class admission
+// over the aggregate queue. It implements scenario.Backend, so the existing
+// HTTP server fronts a cluster exactly as it fronts one service.
+//
+// Ownership protocol: every hash has at most one live ticket, and a live
+// ticket has at most one underlying job on exactly one replica at a time.
+// Jobs migrate only through two paths — StealQueued (queued work moving to
+// an idle peer) and death requeue (a killed replica's cancelled jobs
+// resubmitted elsewhere) — and both finalize the old job before the new
+// dispatch exists, so a spec is never running on two replicas at once.
+//
+// Lock order: Coordinator.mu → ticket.mu → Service.mu → Job.mu.
+package replica
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// ticket is the coordinator-level handle for one content address. Clients
+// hold interest references on the ticket; the coordinator holds exactly one
+// interest reference on whatever underlying job currently backs it. The
+// backing job may move between replicas (steal, death requeue) without the
+// ticket's waiters noticing.
+type ticket struct {
+	c    *Coordinator
+	hash string
+	spec scenario.Spec
+	pri  scenario.Priority
+	done chan struct{}
+
+	mu  sync.Mutex
+	job *scenario.Job  // current dispatch; nil while batched or migrating
+	rep *replicaHandle // replica owning job
+	// ensemble links a batched member to the ensemble ticket executing it;
+	// the member holds one interest reference on the ensemble.
+	ensemble *ticket
+	// batch is the pending batch this ticket sits in before flush.
+	batch *pendingBatch
+
+	finalized bool
+	result    *scenario.Result
+	err       error
+	cached    bool
+
+	interest int
+	pinned   bool
+	shared   int64
+	// clientCanceled marks an explicit Cancel (or interest abandonment), so
+	// a death-requeue in flight finalizes as canceled instead of retrying.
+	clientCanceled bool
+}
+
+// terminalTicket wraps an already-available result (shared-store hit) as a
+// finalized handle; Release/Pin are no-ops.
+func terminalTicket(hash string, res *scenario.Result) *ticket {
+	t := &ticket{hash: hash, done: make(chan struct{}),
+		finalized: true, result: res, cached: true}
+	close(t.done)
+	return t
+}
+
+// ID returns the spec's content address (scenario.Handle).
+func (t *ticket) ID() string { return t.hash }
+
+// Wait blocks until the ticket finalizes or ctx expires. As with Job.Wait,
+// a ctx expiry does not release the caller's interest.
+func (t *ticket) Wait(ctx context.Context) (*scenario.Result, error) {
+	select {
+	case <-t.done:
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.result, t.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Status snapshots the ticket. Pending-batch members report "queued";
+// dispatched tickets mirror their current job's state; ensemble members
+// mirror the ensemble.
+func (t *ticket) Status() scenario.JobStatus {
+	t.mu.Lock()
+	st := scenario.JobStatus{
+		ID: t.hash, Workflow: t.spec.Workflow,
+		Shared: t.shared, Cached: t.cached,
+	}
+	if t.finalized {
+		switch {
+		case t.err == nil:
+			st.State = scenario.StateDone.String()
+		case isCancel(t.err):
+			st.State = scenario.StateCanceled.String()
+		default:
+			st.State = scenario.StateFailed.String()
+		}
+		if t.err != nil {
+			st.Error = t.err.Error()
+		}
+		t.mu.Unlock()
+		return st
+	}
+	if t.cached && t.result != nil {
+		st.State = scenario.StateDone.String()
+		t.mu.Unlock()
+		return st
+	}
+	job, ens := t.job, t.ensemble
+	t.mu.Unlock()
+	switch {
+	case job != nil:
+		st.State = job.Status().State
+	case ens != nil:
+		st.State = ens.Status().State
+	default:
+		st.State = scenario.StateQueued.String() // batched, awaiting flush
+	}
+	// A live ticket whose backing job reports terminal is mid-migration;
+	// from the waiter's perspective it is still in flight.
+	switch st.State {
+	case scenario.StateCanceled.String(), scenario.StateFailed.String(), scenario.StateDone.String():
+		st.State = scenario.StateQueued.String()
+	}
+	return st
+}
+
+// Pin keeps the ticket alive independent of interest references.
+func (t *ticket) Pin() {
+	t.mu.Lock()
+	t.pinned = true
+	t.mu.Unlock()
+}
+
+// Release drops one interest reference; the last release of an unpinned,
+// unfinalized ticket abandons the work (mirrors Job.Release).
+func (t *ticket) Release() {
+	if t.c == nil {
+		return // terminal wrapper
+	}
+	t.c.releaseTicket(t)
+}
+
+// isCancel classifies context-style cancellation errors.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

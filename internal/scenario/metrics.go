@@ -51,10 +51,12 @@ func fromObs(s obs.HistogramSnapshot) HistogramSnapshot {
 // internal/obs, so the same series surface both on the legacy JSON snapshot
 // and on the unified Prometheus /metrics endpoint.
 type Metrics struct {
-	reg       *obs.Registry
-	submitted *obs.Counter
-	rejected  *obs.Counter
-	deduped   *obs.Counter
+	reg        *obs.Registry
+	submitted  *obs.Counter
+	rejected   *obs.Counter
+	deduped    *obs.Counter
+	shed       *obs.Counter
+	sharedHits *obs.Counter
 
 	mu      sync.Mutex
 	latency map[string]*obs.Histogram // by workflow, for snapshot enumeration
@@ -69,13 +71,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	reg.Help("epi_scenario_submitted_total", "scenario jobs admitted to the queue")
 	reg.Help("epi_scenario_rejected_total", "scenario submissions shed by backpressure")
 	reg.Help("epi_scenario_deduped_total", "submissions attached to an identical in-flight job")
+	reg.Help("epi_scenario_shed_total", "submissions shed by priority-class admission control")
+	reg.Help("epi_scenario_shared_hits_total", "results forwarded from the peer-shared store")
 	reg.Help("epi_scenario_latency_seconds", "scenario run latency by workflow")
 	return &Metrics{
-		reg:       reg,
-		submitted: reg.Counter("epi_scenario_submitted_total"),
-		rejected:  reg.Counter("epi_scenario_rejected_total"),
-		deduped:   reg.Counter("epi_scenario_deduped_total"),
-		latency:   map[string]*obs.Histogram{},
+		reg:        reg,
+		submitted:  reg.Counter("epi_scenario_submitted_total"),
+		rejected:   reg.Counter("epi_scenario_rejected_total"),
+		deduped:    reg.Counter("epi_scenario_deduped_total"),
+		shed:       reg.Counter("epi_scenario_shed_total"),
+		sharedHits: reg.Counter("epi_scenario_shared_hits_total"),
+		latency:    map[string]*obs.Histogram{},
 	}
 }
 
@@ -86,6 +92,8 @@ func (m *Metrics) Registry() *obs.Registry { return m.reg }
 func (m *Metrics) incSubmitted() { m.submitted.Inc() }
 func (m *Metrics) incRejected()  { m.rejected.Inc() }
 func (m *Metrics) incDeduped()   { m.deduped.Inc() }
+func (m *Metrics) incShed()      { m.shed.Inc() }
+func (m *Metrics) incSharedHit() { m.sharedHits.Inc() }
 
 // observeLatency books one completed run of the given workflow.
 func (m *Metrics) observeLatency(workflow string, seconds float64) {
@@ -111,6 +119,12 @@ type Snapshot struct {
 	// Deduped counts submissions that attached to an identical in-flight
 	// job (single-flight sharing).
 	Deduped int64 `json:"deduped"`
+	// Shed counts submissions refused by priority-class admission control
+	// while spare queue capacity remained (distinct from Rejected).
+	Shed int64 `json:"shed"`
+	// SharedHits counts results served from the peer-shared store rather
+	// than recomputed locally.
+	SharedHits int64 `json:"shared_hits"`
 	// Jobs by state: queued and running are live gauges; done, failed and
 	// canceled are lifetime totals.
 	Jobs  map[string]int64 `json:"jobs"`
@@ -120,12 +134,13 @@ type Snapshot struct {
 }
 
 // counters returns the scalar counters and per-workflow histograms.
-func (m *Metrics) counters() (submitted, rejected, deduped int64, latency map[string]HistogramSnapshot) {
+func (m *Metrics) counters() (submitted, rejected, deduped, shed, sharedHits int64, latency map[string]HistogramSnapshot) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	latency = make(map[string]HistogramSnapshot, len(m.latency))
 	for k, h := range m.latency {
 		latency[k] = fromObs(h.Snapshot())
 	}
-	return m.submitted.Value(), m.rejected.Value(), m.deduped.Value(), latency
+	return m.submitted.Value(), m.rejected.Value(), m.deduped.Value(),
+		m.shed.Value(), m.sharedHits.Value(), latency
 }

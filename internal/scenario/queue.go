@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"sync"
 
+	"repro/internal/castore"
 	"repro/internal/core"
 	"repro/internal/fidelity"
 	"repro/internal/obs"
@@ -22,7 +25,84 @@ var (
 	ErrQueueFull = errors.New("scenario: queue full")
 	// ErrDraining rejects submissions during graceful shutdown.
 	ErrDraining = errors.New("scenario: service draining")
+	// ErrStolen finalizes a queued job claimed by a peer replica through
+	// StealQueued. A coordinator watcher that observes it must NOT surface
+	// it to waiters: the steal path owns the redispatch, so no client ever
+	// sees this error through a ticket.
+	ErrStolen = errors.New("scenario: job stolen by a peer replica")
 )
+
+// Priority classifies a submission for admission control. Interactive
+// requests (a policy-maker at a dashboard) may use the whole queue; normal
+// requests keep a small headroom reserved for interactive ones on large
+// queues; batch requests (sweeps, pre-warming) are shed once half the queue
+// is occupied so background load can never starve the foreground.
+type Priority int
+
+// Priority classes, lowest ordinal = default.
+const (
+	PriorityNormal Priority = iota
+	PriorityInteractive
+	PriorityBatch
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityBatch:
+		return "batch"
+	default:
+		return "normal"
+	}
+}
+
+// ParsePriority maps the wire form ("", interactive, normal, batch) to a
+// Priority; the empty string is PriorityNormal.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "interactive":
+		return PriorityInteractive, nil
+	case "batch":
+		return PriorityBatch, nil
+	default:
+		return PriorityNormal, fmt.Errorf("scenario: unknown priority %q (want interactive | normal | batch)", s)
+	}
+}
+
+// ShedError rejects a submission by priority-class admission control: the
+// queue still has room, but not for this class. Distinct from ErrQueueFull
+// so clients can tell "the service is saturated" from "your class is being
+// shed to protect the foreground" (and back off accordingly).
+type ShedError struct {
+	Class Priority
+	// Depth / Capacity snapshot the queue at the admission decision.
+	Depth    int
+	Capacity int
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("scenario: %s-priority submission shed (queue %d/%d)", e.Class, e.Depth, e.Capacity)
+}
+
+// DrainError reports a drain whose post-cancel grace expired: the listed
+// jobs were cancelled but their runners had not unwound when Drain gave up
+// waiting. It unwraps to the drain context's error so existing
+// errors.Is(err, context.DeadlineExceeded) checks keep working.
+type DrainError struct {
+	// Running lists the hashes of jobs still occupying a worker, sorted.
+	Running []string
+	cause   error
+}
+
+func (e *DrainError) Error() string {
+	return fmt.Sprintf("scenario: drain grace expired with %d jobs still running (%s): %v",
+		len(e.Running), strings.Join(e.Running, ", "), e.cause)
+}
+
+func (e *DrainError) Unwrap() error { return e.cause }
 
 // BadSpecError wraps a validation failure (HTTP 400).
 type BadSpecError struct{ Err error }
@@ -198,6 +278,16 @@ type Config struct {
 	// the ladder (fidelity specs then fall through to the legacy runner,
 	// which ignores the field).
 	Fidelity *fidelity.Router
+	// Shared is an optional peer-visible content-addressed result store.
+	// Completed results are published into it, and submissions consult it
+	// after the local cache — so in a multi-replica deployment any replica
+	// serves any peer's cached result instead of recomputing it. All
+	// services sharing a store must share a pipeline fingerprint.
+	Shared *castore.Store[*Result]
+	// DrainGrace bounds how long Drain waits for cancelled runners to
+	// unwind after its context expires (default 5s). A runner that ignores
+	// cancellation past the grace is abandoned and reported via DrainError.
+	DrainGrace time.Duration
 }
 
 // Service is the scenario engine: admission control, content-addressed
@@ -206,9 +296,11 @@ type Service struct {
 	runner      Runner
 	fingerprint string
 	cache       *Cache
+	shared      *castore.Store[*Result]
 	metrics     *Metrics
 	workers     int
 	queueCap    int
+	drainGrace  time.Duration
 	fidelity    *fidelity.Router
 	workersUp   atomic.Int64
 
@@ -223,8 +315,8 @@ type Service struct {
 	registry map[string]*Job // every known job, for status lookup
 	draining bool
 	counts   struct {
-		queued, running        int
-		done, failed, canceled int64
+		queued, running                int
+		done, failed, canceled, stolen int64
 	}
 }
 
@@ -240,14 +332,19 @@ func NewService(cfg Config) *Service {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 16
 	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 5 * time.Second
+	}
 	s := &Service{
-		workers:  cfg.Workers,
-		queueCap: cfg.QueueCap,
-		cache:    NewCache(cfg.CacheCap),
-		metrics:  NewMetrics(cfg.Registry),
-		queue:    make(chan *Job, cfg.QueueCap),
-		inflight: map[string]*Job{},
-		registry: map[string]*Job{},
+		workers:    cfg.Workers,
+		queueCap:   cfg.QueueCap,
+		drainGrace: cfg.DrainGrace,
+		cache:      NewCache(cfg.CacheCap),
+		shared:     cfg.Shared,
+		metrics:    NewMetrics(cfg.Registry),
+		queue:      make(chan *Job, cfg.QueueCap),
+		inflight:   map[string]*Job{},
+		registry:   map[string]*Job{},
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.fidelity = cfg.Fidelity
@@ -323,11 +420,23 @@ func (s *Service) registerGauges() {
 	reg.GaugeFunc("epi_result_cache_hit_ratio", func() float64 { return s.cache.Stats().HitRatio })
 }
 
-// Submit normalizes, hashes and admits a spec. The caller holds one
-// interest reference on the returned job and must Release it (cache hits
-// return an already-done job where Release is a no-op). Identical in-flight
-// specs share one job; a full queue returns ErrQueueFull.
+// Submit normalizes, hashes and admits a spec at normal priority. The
+// caller holds one interest reference on the returned job and must Release
+// it (cache hits return an already-done job where Release is a no-op).
+// Identical in-flight specs share one job; a full queue returns
+// ErrQueueFull.
 func (s *Service) Submit(spec Spec) (*Job, error) {
+	return s.SubmitPri(spec, PriorityNormal)
+}
+
+// SubmitPri is Submit with an explicit priority class. Admission control is
+// layered on the bounded queue: batch submissions are shed once half the
+// queue is occupied, normal submissions keep a small headroom reserved for
+// interactive ones on queues of eight or more slots, and interactive
+// submissions may fill the queue. Cache and single-flight attachment are
+// class-blind — a result that already exists (or is being computed) is
+// served to any class.
+func (s *Service) SubmitPri(spec Spec, pri Priority) (*Job, error) {
 	ns, err := spec.Normalize()
 	if err != nil {
 		return nil, &BadSpecError{Err: err}
@@ -338,6 +447,15 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	}
 	if res, ok := s.cache.Get(hash); ok {
 		return completedJob(hash, ns, res), nil
+	}
+	if s.shared != nil {
+		if res, ok := s.shared.Get(hash); ok {
+			// A peer already computed this spec: forward its result and
+			// keep a local copy so repeats stay local.
+			s.cache.Put(hash, res)
+			s.metrics.incSharedHit()
+			return completedJob(hash, ns, res), nil
+		}
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -353,6 +471,17 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		s.metrics.incDeduped()
 		return j, nil
 	}
+	if !s.admitLocked(pri) {
+		depth := s.counts.queued
+		s.mu.Unlock()
+		if depth >= s.queueCap {
+			// Not a class decision: the queue is genuinely full.
+			s.metrics.incRejected()
+			return nil, ErrQueueFull
+		}
+		s.metrics.incShed()
+		return nil, &ShedError{Class: pri, Depth: depth, Capacity: s.queueCap}
+	}
 	j := &Job{Hash: hash, Spec: ns, svc: s, done: make(chan struct{}), interest: 1}
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	select {
@@ -366,9 +495,64 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		return j, nil
 	default:
 		s.mu.Unlock()
+		// The job never entered the queue: cancel its context immediately
+		// so the rejected submission does not leak a child context (and its
+		// goroutine bookkeeping) on baseCtx until shutdown.
+		j.cancel()
 		s.metrics.incRejected()
 		return nil, ErrQueueFull
 	}
+}
+
+// admitLocked applies the per-class queue budget; caller holds s.mu. Batch
+// may use the first half of the queue, normal everything except a reserved
+// eighth (zero on small queues, so single-replica defaults are unchanged),
+// interactive the whole queue.
+func (s *Service) admitLocked(pri Priority) bool {
+	switch pri {
+	case PriorityBatch:
+		return s.counts.queued < (s.queueCap+1)/2
+	case PriorityNormal:
+		return s.counts.queued < s.queueCap-s.queueCap/8
+	default:
+		return true
+	}
+}
+
+// StealQueued atomically claims a still-queued job for execution elsewhere:
+// the job is removed from the queue bookkeeping and the single-flight
+// table, finalized locally, and its normalized spec returned so a replica
+// coordinator can redispatch it onto an idle peer while keeping one
+// canonical owner per hash. Running or terminal jobs cannot be stolen (a
+// false return means the job must finish where it is). The worker that
+// later pops the stolen job from the channel skips it.
+func (s *Service) StealQueued(id string) (Spec, bool) {
+	s.mu.Lock()
+	j, ok := s.registry[id]
+	if !ok {
+		s.mu.Unlock()
+		return Spec{}, false
+	}
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return Spec{}, false
+	}
+	j.state = StateCanceled
+	j.err = ErrStolen
+	close(j.done)
+	delete(s.inflight, j.Hash)
+	if s.registry[j.Hash] == j {
+		delete(s.registry, j.Hash)
+	}
+	s.counts.queued--
+	s.counts.stolen++
+	spec := j.Spec
+	j.mu.Unlock()
+	s.mu.Unlock()
+	j.cancel()
+	return spec, true
 }
 
 // Lookup returns the job for an ID, falling back to the result cache for
@@ -514,6 +698,9 @@ func (s *Service) runJob(j *Job) {
 		res.ElapsedSeconds = elapsed.Seconds()
 		j.result = res
 		s.cache.Put(j.Hash, res)
+		if s.shared != nil {
+			s.shared.Put(j.Hash, res)
+		}
 		s.metrics.observeLatency(j.Spec.Workflow, elapsed.Seconds())
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.state = StateCanceled
@@ -547,7 +734,7 @@ func (s *Service) Draining() bool {
 
 // MetricsSnapshot assembles the /metrics payload.
 func (s *Service) MetricsSnapshot() Snapshot {
-	submitted, rejected, deduped, latency := s.metrics.counters()
+	submitted, rejected, deduped, shed, sharedHits, latency := s.metrics.counters()
 	s.mu.Lock()
 	snap := Snapshot{
 		QueueDepth:    s.counts.queued,
@@ -557,12 +744,15 @@ func (s *Service) MetricsSnapshot() Snapshot {
 		Submitted:     submitted,
 		Rejected:      rejected,
 		Deduped:       deduped,
+		Shed:          shed,
+		SharedHits:    sharedHits,
 		Jobs: map[string]int64{
 			"queued":   int64(s.counts.queued),
 			"running":  int64(s.counts.running),
 			"done":     s.counts.done,
 			"failed":   s.counts.failed,
 			"canceled": s.counts.canceled,
+			"stolen":   s.counts.stolen,
 		},
 		Latency: latency,
 	}
@@ -573,8 +763,11 @@ func (s *Service) MetricsSnapshot() Snapshot {
 
 // Drain gracefully shuts the service down: new submissions are rejected,
 // queued and in-flight jobs run to completion, workers exit. If ctx
-// expires first, the remaining jobs are cancelled and Drain waits for the
-// workers to unwind before returning ctx.Err().
+// expires first, the remaining jobs are cancelled and Drain waits up to
+// the configured DrainGrace for the workers to unwind, then returns
+// ctx.Err() — or, when a runner ignores cancellation past the grace, a
+// *DrainError listing the hashes still occupying workers (it unwraps to
+// ctx.Err(), so deadline checks via errors.Is keep working).
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -591,8 +784,50 @@ func (s *Service) Drain(ctx context.Context) error {
 	case <-finished:
 		return nil
 	case <-ctx.Done():
-		s.baseCancel()
-		<-finished
-		return ctx.Err()
 	}
+	s.baseCancel()
+	grace := time.NewTimer(s.drainGrace)
+	defer grace.Stop()
+	select {
+	case <-finished:
+		return ctx.Err()
+	case <-grace.C:
+		return &DrainError{Running: s.runningHashes(), cause: ctx.Err()}
+	}
+}
+
+// runningHashes snapshots the hashes of jobs currently on a worker, sorted
+// for stable error messages.
+func (s *Service) runningHashes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for h, j := range s.inflight {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			out = append(out, h)
+		}
+		j.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fingerprint returns the pipeline fingerprint the service hashes specs
+// under — replicas behind one front door must agree on it for the shared
+// result store to be sound.
+func (s *Service) Fingerprint() string { return s.fingerprint }
+
+// QueueCap returns the bounded queue's capacity.
+func (s *Service) QueueCap() int { return s.queueCap }
+
+// Workers returns the configured worker-pool size.
+func (s *Service) Workers() int { return s.workers }
+
+// Loads returns the live queued and running job counts — the cheap view a
+// replica coordinator polls for dispatch and steal decisions.
+func (s *Service) Loads() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts.queued, s.counts.running
 }

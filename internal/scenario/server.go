@@ -1,31 +1,48 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 )
 
-// Server exposes the service over HTTP:
+// Server exposes a Backend over HTTP:
 //
-//	POST   /scenarios             submit a spec (JSON body); ?wait=1 blocks
+//	POST   /scenarios             submit a spec (JSON body); ?wait=1 blocks,
+//	                              ?priority=interactive|normal|batch classifies
 //	GET    /scenarios/{id}        poll job status
 //	GET    /scenarios/{id}/result fetch the result when done
 //	DELETE /scenarios/{id}        cancel a queued or running job
 //	GET    /healthz               liveness
 //	GET    /readyz                readiness (workers up; fidelity tiers warm)
 //	GET    /metrics               queue / cache / latency snapshot
+//	GET    /replicas              cluster view (replica-coordinator backends)
 //
 // Submit responses carry the spec's content address as the job ID, so
 // clients can re-derive, share and re-poll result URLs.
+//
+// Backpressure contract (pinned by server_test.go):
+//
+//	ErrQueueFull → 429, Retry-After: 1, body reason "queue_full"
+//	*ShedError   → 429, Retry-After: 5, body reason "shed" (class included)
+//	ErrDraining  → 503, body reason "draining"
 type Server struct {
-	svc *Service
-	mux *http.ServeMux
+	backend Backend
+	mux     *http.ServeMux
 }
 
-// NewServer wires the routes.
-func NewServer(svc *Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+// replicaStatuser is the optional Backend extension that enables the
+// /replicas route (implemented by the replica coordinator).
+type replicaStatuser interface{ ReplicaStatus() any }
+
+// NewServer wires the routes over a single service.
+func NewServer(svc *Service) *Server { return NewBackendServer(AsBackend(svc)) }
+
+// NewBackendServer wires the routes over any Backend — one service or a
+// replica coordinator fronting several.
+func NewBackendServer(b Backend) *Server {
+	s := &Server{backend: b, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /scenarios", s.handleSubmit)
 	s.mux.HandleFunc("GET /scenarios/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /scenarios/{id}/result", s.handleResult)
@@ -34,6 +51,11 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	if rs, ok := b.(replicaStatuser); ok {
+		s.mux.HandleFunc("GET /replicas", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, http.StatusOK, rs.ReplicaStatus())
+		})
+	}
 	return s
 }
 
@@ -52,25 +74,52 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// writeReasonError is writeError plus a machine-readable "reason" field, so
+// clients can distinguish responses sharing a status code (queue_full vs
+// shed both map to 429 but call for different backoff).
+func writeReasonError(w http.ResponseWriter, code int, reason, msg string, extra map[string]string) {
+	body := map[string]string{"error": msg, "reason": reason}
+	for k, v := range extra {
+		body[k] = v
+	}
+	writeJSON(w, code, body)
+}
+
 // handleSubmit admits a spec. Asynchronous submissions (the default) pin
 // the job and return 202 with its status; ?wait=1 holds the request open
 // until the job finishes and returns the result — and because the waiting
 // request is the job's only interest, a client disconnect cancels the run.
+// ?priority= (or X-Priority) selects the admission class.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "bad spec JSON: "+err.Error())
 		return
 	}
-	job, err := s.svc.Submit(spec)
+	priStr := r.URL.Query().Get("priority")
+	if priStr == "" {
+		priStr = r.Header.Get("X-Priority")
+	}
+	pri, err := ParsePriority(priStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.backend.Submit(spec, pri)
+	var shedErr *ShedError
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeReasonError(w, http.StatusTooManyRequests, "queue_full", err.Error(), nil)
+		return
+	case errors.As(err, &shedErr):
+		w.Header().Set("Retry-After", "5")
+		writeReasonError(w, http.StatusTooManyRequests, "shed", err.Error(),
+			map[string]string{"priority": shedErr.Class.String()})
 		return
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeReasonError(w, http.StatusServiceUnavailable, "draining", err.Error(), nil)
 		return
 	default:
 		var bad *BadSpecError
@@ -91,7 +140,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Synchronous: the request context carries the client's interest; when
 	// the client disconnects, Release drops the job's last reference and
-	// the run is cancelled.
+	// the run is cancelled. Release is deferred — not conditional on Wait's
+	// error — so a ctx-expired waiter cannot leak its interest reference.
 	defer job.Release()
 	res, err := job.Wait(r.Context())
 	if err != nil {
@@ -112,7 +162,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 var errCanceledResult = errors.New("scenario: job canceled")
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.svc.Lookup(r.PathValue("id"))
+	job, ok := s.backend.Lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown scenario")
 		return
@@ -121,7 +171,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.svc.Lookup(r.PathValue("id"))
+	job, ok := s.backend.Lookup(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown scenario")
 		return
@@ -129,7 +179,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	st := job.Status()
 	switch st.State {
 	case StateDone.String():
-		res, err := job.Wait(r.Context())
+		// The job is terminal: Wait returns immediately, so don't race it
+		// against the request context (a just-disconnected client could
+		// otherwise turn a completed result into a spurious ctx error).
+		res, err := job.Wait(context.Background())
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -146,11 +199,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if s.svc.Cancel(id) {
+	if s.backend.Cancel(id) {
 		writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceling"})
 		return
 	}
-	if _, ok := s.svc.Lookup(id); ok {
+	if _, ok := s.backend.Lookup(id); ok {
 		writeError(w, http.StatusConflict, "scenario already finished")
 		return
 	}
@@ -158,7 +211,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.svc.Draining() {
+	if s.backend.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -170,7 +223,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // yet under fidelity serving). The body always carries the per-layer state
 // so operators can see which gate is holding readiness back.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	r := s.svc.Readiness()
+	r := s.backend.Readiness()
 	code := http.StatusOK
 	if !r.Ready {
 		code = http.StatusServiceUnavailable
@@ -182,9 +235,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // the pre-existing JSON shape moved to /metrics.json.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.svc.Registry().WritePrometheus(w)
+	s.backend.Registry().WritePrometheus(w)
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.MetricsSnapshot())
+	writeJSON(w, http.StatusOK, s.backend.MetricsSnapshot())
 }
