@@ -45,9 +45,11 @@ fmt-check:
 # with -benchmem so the zero-allocation claims are part of the artifact.
 # The replica load proof (64 closed-loop clients over the HTTP front door
 # at 1 vs 2 replicas, reporting client-side p50_ms/p99_ms/rps) rides along
-# so the multi-replica throughput claim is part of the same artifact.
+# so the multi-replica throughput claim is part of the same artifact, as
+# does the serving-tier observability overhead proof (paired off/on stacks
+# serving alternating real-pipeline requests; overhead-pct budget ≤3).
 # CI uploads the file as a non-gating artifact.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig7TopRuntimeVsSize$$' -benchmem . > bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkWhatIfFanout$$' -benchmem . >> bench_raw.txt
@@ -58,6 +60,7 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFidelityLadder' -benchmem ./internal/fidelity >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkShardScaling' -benchmem ./internal/epihiper >> bench_raw.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkReplicaLoadgen' -benchmem . >> bench_raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkServingObsOverhead$$' -benchmem ./internal/scenario >> bench_raw.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < bench_raw.txt
 	@rm -f bench_raw.txt
 

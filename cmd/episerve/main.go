@@ -76,6 +76,16 @@ func main() {
 		"scenario service replicas behind one front door (>1 enables the shared result store, work-stealing and /replicas)")
 	batchWindow := flag.Duration("batch-window", 0,
 		"what-if ensemble batching window under -replicas > 1 (0 disables; e.g. 25ms folds near-identical specs into one run)")
+	recorderCap := flag.Int("recorder", 256,
+		"flight-recorder capacity: last N request traces kept at /debug/requests (0 disables request tracing, RED series and /slo)")
+	sloP99 := flag.Duration("slo-p99", 0,
+		"latency objective a good request must meet (0 = error-budget SLO only)")
+	sloObjective := flag.Float64("slo-objective", 0.99,
+		"fraction of requests that must be good over -slo-window")
+	sloWindow := flag.Duration("slo-window", time.Hour,
+		"long SLO burn window; burn rates also computed over window/12 and window/3")
+	requestJournal := flag.String("request-journal", "",
+		"JSONL file receiving every request-trace span/event (flushed and closed on drain); empty disables")
 	flag.Parse()
 
 	effShards := *shards
@@ -99,6 +109,29 @@ func main() {
 		Pipeline: p, Workers: *workers, QueueCap: *queueCap, CacheCap: *cacheCap,
 		Registry: reg, Fidelity: router,
 	}
+	// Request-scoped serving observability: trace every scenario request
+	// into the flight recorder, optionally teeing the span/event stream to
+	// a JSONL journal that MUST be flushed+closed after drain (the tail of
+	// a terminated run is exactly the part worth keeping).
+	var servingObs *scenario.ServingObs
+	var journal *obs.Journal
+	if *recorderCap > 0 {
+		obsCfg := scenario.ServingObsConfig{
+			RecorderCapacity: *recorderCap,
+			SLOTarget:        *sloP99,
+			SLOObjective:     *sloObjective,
+			SLOWindow:        *sloWindow,
+		}
+		if *requestJournal != "" {
+			var err error
+			journal, err = obs.OpenFileJournal(*requestJournal)
+			if err != nil {
+				log.Fatalf("request journal: %v", err)
+			}
+			obsCfg.Journal = journal
+		}
+		servingObs = scenario.NewServingObs(reg, obsCfg)
+	}
 	var handler http.Handler
 	var drain func(context.Context) error
 	if *replicas > 1 {
@@ -109,11 +142,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		handler = scenario.NewBackendServer(coord)
+		handler = scenario.NewBackendServer(coord, servingObs)
 		drain = coord.Drain
 	} else {
 		svc := scenario.NewService(svcCfg)
-		handler = scenario.NewServer(svc)
+		handler = scenario.NewServer(svc, servingObs)
 		drain = svc.Drain
 	}
 	if *enablePprof {
@@ -153,6 +186,14 @@ func main() {
 		log.Printf("drain interrupted, in-flight jobs canceled: %v", err)
 	} else {
 		log.Printf("drained cleanly")
+	}
+	// Close the request journal only after the drain settled: jobs that ran
+	// to completion during the drain emit their final spans through it, and
+	// Close flushes the buffered writer so those last entries survive.
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("request journal close: %v", err)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)

@@ -34,6 +34,7 @@ func main() {
 	days := flag.Int("days", 30, "spec forecast horizon")
 	reps := flag.Int("replicates", 2, "spec replicates per configuration")
 	fixed := flag.Bool("fixed", false, "send one identical spec (cache/dedup profile) instead of unique specs")
+	mix := flag.Bool("mix", false, "cycle priorities interactive/normal/batch across requests (overrides -priority); the report breaks p50/p99 down per class")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
 	flag.Parse()
 
@@ -45,10 +46,17 @@ func main() {
 		}
 		return s
 	}
-	rep, err := replica.RunLoadgen(replica.LoadgenConfig{
+	lcfg := replica.LoadgenConfig{
 		BaseURL: *addr, Clients: *clients, Requests: *requests,
 		Priority: *priority, SpecFor: specFor,
-	})
+	}
+	if *mix {
+		classes := []string{"interactive", "normal", "batch"}
+		lcfg.PriorityFor = func(client, seq int) string {
+			return classes[(client+seq)%len(classes)]
+		}
+	}
+	rep, err := replica.RunLoadgen(lcfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +70,17 @@ func main() {
 	}
 	fmt.Printf("clients=%d requests=%d ok=%d errors=%d\n", rep.Clients, rep.Requests, rep.OK, rep.Errors)
 	fmt.Printf("p50=%s p99=%s throughput=%.1f req/s over %s\n", rep.P50, rep.P99, rep.Throughput, rep.Elapsed)
+	for _, pri := range []string{"interactive", "normal", "batch"} {
+		if st, ok := rep.ByPriority[pri]; ok {
+			fmt.Printf("  %-11s requests=%d ok=%d p50=%.1fms p99=%.1fms\n",
+				pri, st.Requests, st.OK, st.P50ms, st.P99ms)
+		}
+	}
 	for code, n := range rep.StatusDist {
 		fmt.Printf("  status %d: %d\n", code, n)
+	}
+	if rep.SlowestID != "" {
+		fmt.Printf("slowest request: %.1fms — inspect with GET %s/debug/requests/%s\n",
+			rep.SlowestMS, *addr, rep.SlowestID)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 )
@@ -23,31 +24,153 @@ const (
 type Entry struct {
 	Type string `json:"type"`
 	Name string `json:"name"`
+	// Req is the request trace ID the entry belongs to, set when a
+	// request-scoped trace exports through a shared journal (span IDs are
+	// only unique within one request, so the journal needs the trace ID to
+	// reassemble trees).
+	Req string `json:"req,omitempty"`
 	// Span is the owning span ID (for EntrySpan, the span itself); zero
 	// when the event fired outside any span.
 	Span   uint64 `json:"span,omitempty"`
 	Parent uint64 `json:"parent,omitempty"`
 	// StartNS/EndNS bracket a span in unix nanoseconds; AtNS stamps an
 	// event.
-	StartNS int64          `json:"start_ns,omitempty"`
-	EndNS   int64          `json:"end_ns,omitempty"`
-	AtNS    int64          `json:"at_ns,omitempty"`
-	Seconds float64        `json:"seconds,omitempty"`
-	Attrs   map[string]any `json:"attrs,omitempty"`
+	StartNS int64    `json:"start_ns,omitempty"`
+	EndNS   int64    `json:"end_ns,omitempty"`
+	AtNS    int64    `json:"at_ns,omitempty"`
+	Seconds float64  `json:"seconds,omitempty"`
+	Attrs   AttrList `json:"attrs,omitempty"`
+}
+
+// AttrList is an entry's attributes kept as the flat tagged-union slice the
+// instrumentation produced — a span close on the traced hot path stores its
+// attrs without building a map or boxing values. It still marshals as the
+// same JSON object a map would (keys sorted, later duplicates winning), so
+// journal lines are byte-identical to the map representation they replace.
+type AttrList []Attr
+
+// Get returns the value for key (later duplicates win), boxed as any.
+func (l AttrList) Get(key string) (any, bool) {
+	for i := len(l) - 1; i >= 0; i-- {
+		if l[i].Key == key {
+			return l[i].Value(), true
+		}
+	}
+	return nil, false
+}
+
+// Map flattens the list into a key→value map for view payloads; nil when
+// empty. Later keys win, matching JSON object semantics.
+func (l AttrList) Map() map[string]any {
+	if len(l) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(l))
+	for _, a := range l {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// MarshalJSON writes the list as a JSON object. Export runs off the hot
+// path, so it simply round-trips through the map form encoding/json sorts.
+func (l AttrList) MarshalJSON() ([]byte, error) {
+	return json.Marshal(l.Map())
+}
+
+// UnmarshalJSON parses a JSON object back into a key-sorted list. JSON
+// numbers surface as float attrs — the same fidelity the map form had.
+func (l *AttrList) UnmarshalJSON(b []byte) error {
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	if len(m) == 0 {
+		*l = nil
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make(AttrList, 0, len(keys))
+	for _, k := range keys {
+		switch v := m[k].(type) {
+		case string:
+			out = append(out, String(k, v))
+		case float64:
+			out = append(out, Float(k, v))
+		case bool:
+			out = append(out, Bool(k, v))
+		default:
+			out = append(out, Attr{Key: k, kind: attrAny, v: v})
+		}
+	}
+	*l = out
+	return nil
 }
 
 // Journal writes entries as JSON Lines — one self-describing object per
 // line, append-only, so a night's journal can be tailed while it runs and
 // replayed afterwards. Safe for concurrent use.
 type Journal struct {
-	mu  sync.Mutex
-	w   io.Writer
-	err error
+	mu     sync.Mutex
+	w      io.Writer
+	err    error
+	closer func() error
 }
 
 // NewJournal wraps a writer. The caller owns the writer's lifecycle
 // (e.g. closing the underlying file).
 func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// OpenFileJournal creates (truncating) a JSONL journal file with a buffered
+// writer. The returned journal MUST be Closed — the buffer is not flushed
+// on process exit, so a drain path that skips Close loses the run's tail.
+func OpenFileJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	j := NewJournal(bw)
+	j.closer = func() error {
+		ferr := bw.Flush()
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		return ferr
+	}
+	return j, nil
+}
+
+// Close flushes and closes the underlying writer when the journal owns one
+// (OpenFileJournal); on a plain NewJournal it only reports the sticky write
+// error. Close is idempotent and safe to call concurrently with Emit —
+// writes after Close are dropped.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closer != nil {
+		cerr := j.closer()
+		j.closer = nil
+		if j.err == nil {
+			j.err = errJournalClosed
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	if j.err == errJournalClosed {
+		return nil
+	}
+	return j.err
+}
+
+// errJournalClosed is the sticky error recorded after Close so late Emits
+// are dropped instead of writing to a closed file.
+var errJournalClosed = fmt.Errorf("obs: journal closed")
 
 // Emit appends one entry as a JSON line. The first write error sticks and
 // suppresses further writes (journals must never take the pipeline down).

@@ -12,9 +12,9 @@ func TestJournalRoundTrip(t *testing.T) {
 	j := NewJournal(&buf)
 	in := []Entry{
 		{Type: EntrySpan, Name: "night", Span: 1, StartNS: 10, EndNS: 30, Seconds: 2e-8,
-			Attrs: map[string]any{"workflow": "Prediction", "day": float64(1)}},
+			Attrs: AttrList{Float("day", 1), String("workflow", "Prediction")}},
 		{Type: EntryEvent, Name: "task.shed", Span: 1, AtNS: 20,
-			Attrs: map[string]any{"region": "VA", "cell": float64(3)}},
+			Attrs: AttrList{Float("cell", 3), String("region", "VA")}},
 		{Type: EntrySpan, Name: "transfer", Span: 2, Parent: 1, StartNS: 12, EndNS: 14, Seconds: 2e-9},
 	}
 	for _, e := range in {

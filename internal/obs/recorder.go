@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the serving tier's flight recorder: a bounded ring of the
+// last N request traces, plus a second always-keep ring for the requests
+// worth keeping past churn — slow (duration ≥ SlowThreshold), errored
+// (HTTP ≥ 400 or an error message), or escalated to the full ABM. Traces
+// are stored live (by pointer), so an async job that finishes after its
+// HTTP exchange keeps enriching the recorded trace.
+//
+// Lookup is by request ID over both rings; a trace evicted from the main
+// ring stays reachable while the kept ring references it, and vice versa.
+type Recorder struct {
+	mu   sync.Mutex
+	main ringBuf
+	kept ringBuf
+	// byID refcounts each trace's ring memberships so eviction from one
+	// ring doesn't break lookup through the other.
+	byID map[string]*recEntry
+
+	capMain int
+	capKept int
+	slow    time.Duration
+}
+
+type recEntry struct {
+	rt   *RequestTrace
+	refs int
+}
+
+type ringBuf struct {
+	buf  []*RequestTrace
+	next int
+	full bool
+}
+
+func (r *ringBuf) push(rt *RequestTrace) (evicted *RequestTrace) {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	if r.full {
+		evicted = r.buf[r.next]
+	}
+	r.buf[r.next] = rt
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	return evicted
+}
+
+// newest-first iteration order.
+func (r *ringBuf) items() []*RequestTrace {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*RequestTrace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// RecorderConfig sizes the recorder.
+type RecorderConfig struct {
+	// Capacity bounds the main ring (default 256).
+	Capacity int
+	// KeepCapacity bounds the always-keep ring (default Capacity/4, min 16).
+	KeepCapacity int
+	// SlowThreshold marks a request always-keep when its duration reaches
+	// it. Zero disables the slowness criterion (errors and escalations are
+	// always kept regardless).
+	SlowThreshold time.Duration
+}
+
+// NewRecorder builds a flight recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.KeepCapacity <= 0 {
+		cfg.KeepCapacity = cfg.Capacity / 4
+		if cfg.KeepCapacity < 16 {
+			cfg.KeepCapacity = 16
+		}
+	}
+	return &Recorder{
+		main:    ringBuf{buf: make([]*RequestTrace, cfg.Capacity)},
+		kept:    ringBuf{buf: make([]*RequestTrace, cfg.KeepCapacity)},
+		byID:    make(map[string]*recEntry, cfg.Capacity+cfg.KeepCapacity),
+		capMain: cfg.Capacity,
+		capKept: cfg.KeepCapacity,
+		slow:    cfg.SlowThreshold,
+	}
+}
+
+// SlowThreshold returns the configured always-keep latency bar.
+func (r *Recorder) SlowThreshold() time.Duration { return r.slow }
+
+// Record stores a completed (or async-pending) request trace. The keep
+// decision is made here, at HTTP completion time: slow, errored, or
+// escalated traces also enter the always-keep ring.
+func (r *Recorder) Record(rt *RequestTrace) {
+	if r == nil || rt == nil {
+		return
+	}
+	keep := rt.Escalated()
+	if st := rt.Status(); st >= 400 {
+		keep = true
+	}
+	if r.slow > 0 && rt.Duration() >= r.slow {
+		keep = true
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retainLocked(rt)
+	r.releaseLocked(r.main.push(rt))
+	if keep {
+		r.retainLocked(rt)
+		r.releaseLocked(r.kept.push(rt))
+	}
+}
+
+func (r *Recorder) retainLocked(rt *RequestTrace) {
+	e := r.byID[rt.ID()]
+	if e == nil {
+		e = &recEntry{rt: rt}
+		r.byID[rt.ID()] = e
+	}
+	e.refs++
+}
+
+func (r *Recorder) releaseLocked(rt *RequestTrace) {
+	if rt == nil {
+		return
+	}
+	e := r.byID[rt.ID()]
+	if e == nil {
+		return
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(r.byID, rt.ID())
+	}
+}
+
+// Get returns the trace for a request ID, or nil.
+func (r *Recorder) Get(id string) *RequestTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.byID[id]; e != nil {
+		return e.rt
+	}
+	return nil
+}
+
+// List returns summaries of every recorded trace, newest first, deduped
+// across the two rings. limit ≤ 0 means all.
+func (r *Recorder) List(limit int) []TraceSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	seen := map[string]bool{}
+	var rts []*RequestTrace
+	for _, rt := range r.main.items() {
+		if !seen[rt.ID()] {
+			seen[rt.ID()] = true
+			rts = append(rts, rt)
+		}
+	}
+	for _, rt := range r.kept.items() {
+		if !seen[rt.ID()] {
+			seen[rt.ID()] = true
+			rts = append(rts, rt)
+		}
+	}
+	r.mu.Unlock()
+
+	// Summaries take each trace's own lock — outside the recorder lock.
+	out := make([]TraceSummary, 0, len(rts))
+	for _, rt := range rts {
+		out = append(out, rt.Summary())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNS > out[j].StartNS })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Len reports how many distinct traces are currently reachable.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

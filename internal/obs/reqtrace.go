@@ -1,0 +1,405 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// reqCounter backs NewRequestID when crypto/rand fails (it practically
+// never does, but a request must always get an ID).
+var reqCounter atomic.Uint64
+
+// NewRequestID mints a 16-hex-char request trace ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqCounter.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * (7 - i)))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestTrace collects every span close and event of one served request
+// into an in-memory buffer, keyed by a request ID. It is itself a Sink: the
+// serving tier mints one tracer per request with the trace as its sink, so
+// span IDs are unique within the request and the span tree reassembles
+// without global coordination. A tee sink (the request journal) optionally
+// receives every entry stamped with the request ID.
+//
+// The trace outlives its HTTP exchange: async (202) submissions keep
+// filling it from worker goroutines, so Snapshot builds the tree lazily at
+// read time under the lock rather than freezing it at Finish.
+type RequestTrace struct {
+	id     string
+	tracer *Tracer
+	root   *Span
+	tee    Sink
+	start  time.Time
+	clock  Clock
+
+	mu        sync.Mutex
+	entries   []Entry
+	workflow  string
+	priority  string
+	status    int
+	errMsg    string
+	end       time.Time
+	done      bool
+	escalated bool
+	annos     map[string]any
+}
+
+// ReqTraceOption configures NewRequestTrace.
+type ReqTraceOption func(*RequestTrace)
+
+// WithReqClock injects the trace's timestamp source (default time.Now);
+// determinism tests use FixedClock.
+func WithReqClock(c Clock) ReqTraceOption { return func(rt *RequestTrace) { rt.clock = c } }
+
+// WithReqTee forwards every entry (stamped with the request ID) to an
+// additional sink — the optional JSONL request journal.
+func WithReqTee(s Sink) ReqTraceOption { return func(rt *RequestTrace) { rt.tee = s } }
+
+// NewRequestTrace builds a request trace with its own tracer and opens the
+// root "request" span. An empty id mints a fresh one.
+func NewRequestTrace(id string, opts ...ReqTraceOption) *RequestTrace {
+	if id == "" {
+		id = NewRequestID()
+	}
+	// Preallocate the entry buffer: a typical served request closes on the
+	// order of a dozen spans plus events, and growing from nil would churn
+	// six reallocations on every request.
+	rt := &RequestTrace{id: id, clock: time.Now, entries: make([]Entry, 0, 32)}
+	for _, o := range opts {
+		o(rt)
+	}
+	rt.tracer = NewTracer(rt, WithClock(rt.clock))
+	rt.start = rt.clock()
+	rt.root = &Span{
+		tracer: rt.tracer,
+		name:   "request",
+		id:     rt.tracer.ids.Add(1),
+		start:  rt.start,
+	}
+	return rt
+}
+
+// RequestTraceFrom returns the context's request trace, or nil.
+func RequestTraceFrom(ctx context.Context) *RequestTrace {
+	rt, _ := ctx.Value(reqTraceKey).(*RequestTrace)
+	return rt
+}
+
+// Attach returns ctx carrying the trace's tracer, root span, and the trace
+// itself — everything below sees StartSpan/Event report into this request.
+// One context link, not three: this sits on every served request.
+func (rt *RequestTrace) Attach(ctx context.Context) context.Context {
+	return &traceCtx{Context: ctx, t: rt.tracer, s: rt.root, rt: rt}
+}
+
+// Emit implements Sink: buffer the entry, flag ABM escalation when the
+// fidelity router's route event passes through, and tee to the journal
+// stamped with the request ID.
+func (rt *RequestTrace) Emit(e Entry) {
+	rt.mu.Lock()
+	rt.entries = append(rt.entries, e)
+	if e.Type == EntryEvent && e.Name == "fidelity.route" {
+		if tier, ok := e.Attrs.Get("tier"); ok && tier == "abm" {
+			rt.escalated = true
+		}
+	}
+	rt.mu.Unlock()
+	if rt.tee != nil {
+		e.Req = rt.id
+		rt.tee.Emit(e)
+	}
+}
+
+// ID returns the request trace ID.
+func (rt *RequestTrace) ID() string { return rt.id }
+
+// Start returns when the trace (root span) opened.
+func (rt *RequestTrace) Start() time.Time { return rt.start }
+
+// SetRequest records the classified workflow and priority for the recorder
+// listing and RED series.
+func (rt *RequestTrace) SetRequest(workflow, priority string) {
+	rt.mu.Lock()
+	rt.workflow = workflow
+	rt.priority = priority
+	rt.mu.Unlock()
+}
+
+// Annotate attaches a key/value to the trace summary (hash, batch ID, ...).
+func (rt *RequestTrace) Annotate(k string, v any) {
+	rt.mu.Lock()
+	if rt.annos == nil {
+		rt.annos = map[string]any{}
+	}
+	rt.annos[k] = v
+	rt.mu.Unlock()
+}
+
+// MarkEscalated flags the request as escalated-to-ABM regardless of journal
+// events — the serving tier calls it when the result reports tier "abm"
+// (the route decision may have happened on another request's trace under
+// single-flight).
+func (rt *RequestTrace) MarkEscalated() {
+	rt.mu.Lock()
+	rt.escalated = true
+	rt.mu.Unlock()
+}
+
+// Finish closes the root span with the HTTP outcome. Idempotent; only the
+// first call sets status/err/end.
+func (rt *RequestTrace) Finish(status int, errMsg string) {
+	rt.mu.Lock()
+	if rt.done {
+		rt.mu.Unlock()
+		return
+	}
+	rt.done = true
+	rt.status = status
+	rt.errMsg = errMsg
+	rt.mu.Unlock()
+	rt.root.SetAttr(Int("status", int64(status)))
+	if errMsg != "" {
+		rt.root.SetAttr(String("error", errMsg))
+	}
+	rt.root.End()
+	rt.mu.Lock()
+	rt.end = rt.clock()
+	rt.mu.Unlock()
+}
+
+// Done reports whether Finish has run.
+func (rt *RequestTrace) Done() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.done
+}
+
+// Status returns the recorded HTTP status (0 before Finish).
+func (rt *RequestTrace) Status() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.status
+}
+
+// Escalated reports whether the request escalated to the full ABM.
+func (rt *RequestTrace) Escalated() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.escalated
+}
+
+// Duration returns the root span's wall time: end−start once finished,
+// otherwise elapsed so far.
+func (rt *RequestTrace) Duration() time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.done {
+		return rt.end.Sub(rt.start)
+	}
+	return rt.clock().Sub(rt.start)
+}
+
+// Workflow returns the recorded workflow ("" before SetRequest).
+func (rt *RequestTrace) Workflow() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.workflow
+}
+
+// Priority returns the recorded priority class.
+func (rt *RequestTrace) Priority() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.priority
+}
+
+// SpanNode is one span in the reassembled request tree.
+type SpanNode struct {
+	Name       string         `json:"name"`
+	Span       uint64         `json:"span"`
+	StartNS    int64          `json:"start_ns"`
+	EndNS      int64          `json:"end_ns,omitempty"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []EventNode    `json:"events,omitempty"`
+	Children   []*SpanNode    `json:"children,omitempty"`
+}
+
+// EventNode is one point event inside a span.
+type EventNode struct {
+	Name  string         `json:"name"`
+	AtNS  int64          `json:"at_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceSummary is the recorder's listing row for one request.
+type TraceSummary struct {
+	ID         string         `json:"id"`
+	Workflow   string         `json:"workflow,omitempty"`
+	Priority   string         `json:"priority,omitempty"`
+	Status     int            `json:"status,omitempty"`
+	Error      string         `json:"error,omitempty"`
+	DurationMS float64        `json:"duration_ms"`
+	Done       bool           `json:"done"`
+	Escalated  bool           `json:"escalated,omitempty"`
+	Spans      int            `json:"spans"`
+	Events     int            `json:"events"`
+	Annos      map[string]any `json:"annotations,omitempty"`
+	StartNS    int64          `json:"start_ns"`
+}
+
+// TraceView is the full /debug/requests/{id} payload: summary + span tree.
+type TraceView struct {
+	TraceSummary
+	Root    *SpanNode   `json:"root"`
+	Orphans []*SpanNode `json:"orphans,omitempty"`
+}
+
+// Summary builds the listing row under the lock.
+func (rt *RequestTrace) Summary() TraceSummary {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.summaryLocked()
+}
+
+func (rt *RequestTrace) summaryLocked() TraceSummary {
+	s := TraceSummary{
+		ID:        rt.id,
+		Workflow:  rt.workflow,
+		Priority:  rt.priority,
+		Status:    rt.status,
+		Error:     rt.errMsg,
+		Done:      rt.done,
+		Escalated: rt.escalated,
+		StartNS:   rt.start.UnixNano(),
+	}
+	if rt.done {
+		s.DurationMS = float64(rt.end.Sub(rt.start)) / float64(time.Millisecond)
+	} else {
+		s.DurationMS = float64(rt.clock().Sub(rt.start)) / float64(time.Millisecond)
+	}
+	for _, e := range rt.entries {
+		switch e.Type {
+		case EntrySpan:
+			s.Spans++
+		case EntryEvent:
+			s.Events++
+		}
+	}
+	if len(rt.annos) > 0 {
+		s.Annos = make(map[string]any, len(rt.annos))
+		for k, v := range rt.annos {
+			s.Annos[k] = v
+		}
+	}
+	return s
+}
+
+// Snapshot reassembles the span tree from the buffered entries. Built
+// lazily at read time: an async job still running shows the spans closed
+// so far, and a later read shows more. Spans whose parent has not closed
+// yet (or closed out of order) surface under Orphans rather than being
+// dropped. The root span appears even before Finish, with EndNS zero.
+func (rt *RequestTrace) Snapshot() TraceView {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+
+	nodes := map[uint64]*SpanNode{}
+	rootNode := &SpanNode{
+		Name:    "request",
+		Span:    rt.root.id,
+		StartNS: rt.start.UnixNano(),
+	}
+	if rt.done {
+		rootNode.EndNS = rt.end.UnixNano()
+		rootNode.DurationMS = float64(rt.end.Sub(rt.start)) / float64(time.Millisecond)
+	} else {
+		rootNode.DurationMS = float64(rt.clock().Sub(rt.start)) / float64(time.Millisecond)
+	}
+	nodes[rt.root.id] = rootNode
+
+	type pendingEvent struct {
+		span uint64
+		ev   EventNode
+	}
+	var events []pendingEvent
+	for _, e := range rt.entries {
+		switch e.Type {
+		case EntrySpan:
+			n := nodes[e.Span]
+			if n == nil {
+				n = &SpanNode{Span: e.Span}
+				nodes[e.Span] = n
+			}
+			n.Name = e.Name
+			n.StartNS = e.StartNS
+			n.EndNS = e.EndNS
+			n.DurationMS = e.Seconds * 1e3
+			n.Attrs = e.Attrs.Map()
+			if e.Span == rt.root.id {
+				// Root closes through Finish; its entry carries the final
+				// attrs (status, error).
+				continue
+			}
+			parent := nodes[e.Parent]
+			if parent == nil {
+				parent = &SpanNode{Span: e.Parent}
+				nodes[e.Parent] = parent
+			}
+			parent.Children = append(parent.Children, n)
+		case EntryEvent:
+			events = append(events, pendingEvent{span: e.Span, ev: EventNode{Name: e.Name, AtNS: e.AtNS, Attrs: e.Attrs.Map()}})
+		}
+	}
+	// Root attrs come from its close entry, if present.
+	for _, e := range rt.entries {
+		if e.Type == EntrySpan && e.Span == rt.root.id {
+			rootNode.Attrs = e.Attrs.Map()
+		}
+	}
+	for _, pe := range events {
+		n := nodes[pe.span]
+		if n == nil {
+			// Event fired on a span that has not closed yet (or span 0):
+			// surface it on the root so nothing is lost.
+			n = rootNode
+		}
+		n.Events = append(n.Events, pe.ev)
+	}
+	var orphans []*SpanNode
+	for id, n := range nodes {
+		if id == rt.root.id || n.Name != "" {
+			continue
+		}
+		// Placeholder parent that never closed: its children are real,
+		// promote them as orphans.
+		orphans = append(orphans, n.Children...)
+	}
+	sortTree(rootNode)
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].StartNS < orphans[j].StartNS })
+	for _, o := range orphans {
+		sortTree(o)
+	}
+	return TraceView{TraceSummary: rt.summaryLocked(), Root: rootNode, Orphans: orphans}
+}
+
+// sortTree orders children and events by start time, recursively.
+func sortTree(n *SpanNode) {
+	sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].StartNS < n.Children[j].StartNS })
+	sort.Slice(n.Events, func(i, j int) bool { return n.Events[i].AtNS < n.Events[j].AtNS })
+	for _, c := range n.Children {
+		sortTree(c)
+	}
+}

@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// traceSeq staggers fixedTrace start times so recorder listings have a
+// deterministic newest-first order.
+var traceSeq atomic.Int64
+
+func fixedTrace(id string, tee Sink) *RequestTrace {
+	base := time.Unix(1700000000, 0).Add(time.Duration(traceSeq.Add(1)) * time.Second)
+	clock := FixedClock(base, time.Millisecond)
+	opts := []ReqTraceOption{WithReqClock(clock)}
+	if tee != nil {
+		opts = append(opts, WithReqTee(tee))
+	}
+	return NewRequestTrace(id, opts...)
+}
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRequestTraceSnapshotTree(t *testing.T) {
+	rt := fixedTrace("req1", nil)
+	ctx := rt.Attach(context.Background())
+
+	qctx, qs := StartSpan(ctx, "queue.wait", String("priority", "normal"))
+	Event(qctx, "replica.dispatch", Int("replica", 1))
+	qs.End()
+	rctx, rs := StartSpan(ctx, "job.run")
+	_, es := StartSpan(rctx, "engine.tick")
+	es.End()
+	rs.End()
+	rt.SetRequest("prediction", "normal")
+	rt.Finish(200, "")
+
+	if !rt.Done() || rt.Status() != 200 {
+		t.Fatalf("done=%v status=%d", rt.Done(), rt.Status())
+	}
+	v := rt.Snapshot()
+	if v.ID != "req1" || v.Workflow != "prediction" || v.Priority != "normal" {
+		t.Fatalf("summary mismatch: %+v", v.TraceSummary)
+	}
+	if v.Root == nil || v.Root.Name != "request" {
+		t.Fatalf("missing root span: %+v", v.Root)
+	}
+	if len(v.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (queue.wait, job.run)", len(v.Root.Children))
+	}
+	if v.Root.Children[0].Name != "queue.wait" || v.Root.Children[1].Name != "job.run" {
+		t.Fatalf("children order: %s, %s", v.Root.Children[0].Name, v.Root.Children[1].Name)
+	}
+	if len(v.Root.Children[0].Events) != 1 || v.Root.Children[0].Events[0].Name != "replica.dispatch" {
+		t.Fatalf("queue.wait events: %+v", v.Root.Children[0].Events)
+	}
+	run := v.Root.Children[1]
+	if len(run.Children) != 1 || run.Children[0].Name != "engine.tick" {
+		t.Fatalf("job.run children: %+v", run.Children)
+	}
+	if st, ok := v.Root.Attrs["status"]; !ok || st != int64(200) {
+		t.Fatalf("root status attr: %v", v.Root.Attrs)
+	}
+}
+
+func TestRequestTraceLazySnapshot(t *testing.T) {
+	// The 202-async shape: the HTTP exchange finishes, the job keeps
+	// reporting spans, and a later Snapshot sees them.
+	rt := fixedTrace("async", nil)
+	ctx := rt.Attach(context.Background())
+	rt.Finish(202, "")
+	before := rt.Snapshot()
+	if len(before.Root.Children) != 0 {
+		t.Fatalf("unexpected children before async work: %d", len(before.Root.Children))
+	}
+	_, s := StartSpan(ctx, "job.run")
+	s.End()
+	after := rt.Snapshot()
+	if len(after.Root.Children) != 1 || after.Root.Children[0].Name != "job.run" {
+		t.Fatalf("async span missing from later snapshot: %+v", after.Root.Children)
+	}
+}
+
+func TestRequestTraceEscalationFlag(t *testing.T) {
+	rt := fixedTrace("esc", nil)
+	ctx := rt.Attach(context.Background())
+	if rt.Escalated() {
+		t.Fatal("escalated before any event")
+	}
+	Event(ctx, "fidelity.route", String("tier", "emulator"))
+	if rt.Escalated() {
+		t.Fatal("emulator route must not flag escalation")
+	}
+	Event(ctx, "fidelity.route", String("tier", "abm"))
+	if !rt.Escalated() {
+		t.Fatal("abm route must flag escalation")
+	}
+}
+
+func TestRequestTraceTeeStampsReq(t *testing.T) {
+	col := NewCollector(nil)
+	rt := fixedTrace("teed", col)
+	ctx := rt.Attach(context.Background())
+	_, s := StartSpan(ctx, "work")
+	s.End()
+	rt.Finish(200, "")
+	es := col.Entries()
+	if len(es) == 0 {
+		t.Fatal("tee saw no entries")
+	}
+	for _, e := range es {
+		if e.Req != "teed" {
+			t.Fatalf("entry %q missing req stamp: %+v", e.Name, e)
+		}
+	}
+}
+
+func TestAdoptTraceCarriesIdentityNotCancellation(t *testing.T) {
+	rt := fixedTrace("adopt", nil)
+	src, cancel := context.WithCancel(rt.Attach(context.Background()))
+	dst := AdoptTrace(context.Background(), src)
+	cancel()
+	if dst.Err() != nil {
+		t.Fatal("AdoptTrace leaked cancellation")
+	}
+	if TracerFrom(dst) == nil || RequestTraceFrom(dst) != rt {
+		t.Fatal("AdoptTrace dropped tracing identity")
+	}
+	_, s := StartSpan(dst, "after.cancel")
+	s.End()
+	if v := rt.Snapshot(); len(v.Root.Children) != 1 {
+		t.Fatalf("span on adopted ctx not recorded: %+v", v.Root.Children)
+	}
+	// Untraced source: dst unchanged.
+	if got := AdoptTrace(context.Background(), context.Background()); TracerFrom(got) != nil {
+		t.Fatal("AdoptTrace invented a tracer")
+	}
+}
+
+func TestRecorderEvictionAndKeep(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 4, KeepCapacity: 16, SlowThreshold: time.Hour})
+	// An error trace recorded first: must survive main-ring churn via the
+	// kept ring.
+	bad := fixedTrace("bad", nil)
+	bad.Finish(500, "boom")
+	r.Record(bad)
+	for i := 0; i < 10; i++ {
+		rt := fixedTrace(fmt.Sprintf("ok%d", i), nil)
+		rt.Finish(200, "")
+		r.Record(rt)
+	}
+	if r.Get("bad") == nil {
+		t.Fatal("error trace evicted despite always-keep")
+	}
+	if r.Get("ok0") != nil {
+		t.Fatal("ok0 should have churned out of the main ring")
+	}
+	if r.Get("ok9") == nil {
+		t.Fatal("newest trace missing")
+	}
+	list := r.List(0)
+	if len(list) != 5 { // 4 main + 1 kept
+		t.Fatalf("list length = %d, want 5", len(list))
+	}
+	if list[len(list)-1].ID != "bad" {
+		// newest-first ordering: the old kept trace lists last
+		t.Fatalf("expected bad last, got %v", list[len(list)-1].ID)
+	}
+}
+
+func TestRecorderKeepCriteria(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 2, KeepCapacity: 4, SlowThreshold: 10 * time.Millisecond})
+	slow := NewRequestTrace("slow", WithReqClock(FixedClock(time.Unix(0, 0), 20*time.Millisecond)))
+	slow.Finish(200, "")
+	esc := fixedTrace("esc", nil)
+	esc.MarkEscalated()
+	esc.Finish(200, "")
+	fast := fixedTrace("fast", nil)
+	fast.Finish(200, "")
+	r.Record(slow)
+	r.Record(esc)
+	r.Record(fast)
+	// Churn the main ring completely.
+	for i := 0; i < 4; i++ {
+		rt := fixedTrace(fmt.Sprintf("x%d", i), nil)
+		rt.Finish(200, "")
+		r.Record(rt)
+	}
+	if r.Get("slow") == nil {
+		t.Fatal("slow trace not kept")
+	}
+	if r.Get("esc") == nil {
+		t.Fatal("escalated trace not kept")
+	}
+	if r.Get("fast") != nil {
+		t.Fatal("fast 200 trace wrongly kept")
+	}
+}
+
+// TestRecorderChurnRace hammers the recorder from many goroutines —
+// recording, listing, and snapshotting concurrently — and is part of the
+// tier-1 -race targets.
+func TestRecorderChurnRace(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 8, KeepCapacity: 4, SlowThreshold: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rt := fixedTrace(fmt.Sprintf("g%d-%d", g, i), nil)
+				ctx := rt.Attach(context.Background())
+				_, s := StartSpan(ctx, "work")
+				s.End()
+				status := 200
+				if i%17 == 0 {
+					status = 500
+				}
+				rt.Finish(status, "")
+				r.Record(rt)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, s := range r.List(16) {
+					if rt := r.Get(s.ID); rt != nil {
+						_ = rt.Snapshot()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := r.Len(); n == 0 {
+		t.Fatal("recorder empty after churn")
+	}
+}
+
+func TestSLOTrackerWindowsAndBurn(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	now := base
+	step := func(d time.Duration) { now = now.Add(d) }
+	tr := NewSLOTracker(SLOConfig{
+		Target:    100 * time.Millisecond,
+		Objective: 0.99,
+		Window:    time.Hour,
+		Clock:     func() time.Time { return now },
+	})
+	ws := tr.Windows()
+	if len(ws) != 3 || ws[0] != 5*time.Minute || ws[1] != 20*time.Minute || ws[2] != time.Hour {
+		t.Fatalf("windows = %v", ws)
+	}
+	// 99 good + 1 bad = exactly the objective boundary: burn 1.0.
+	for i := 0; i < 99; i++ {
+		tr.Observe(200, 10*time.Millisecond)
+	}
+	tr.Observe(200, 500*time.Millisecond) // slow success counts bad
+	if burn := tr.BurnRate(time.Hour); burn < 0.99 || burn > 1.01 {
+		t.Fatalf("burn = %v, want ~1.0", burn)
+	}
+	// 4xx is excluded from the SLI entirely.
+	tr.Observe(404, time.Millisecond)
+	rep := tr.Report()
+	if rep.TotalGood+rep.TotalBad != 100 {
+		t.Fatalf("4xx leaked into SLI: good=%d bad=%d", rep.TotalGood, rep.TotalBad)
+	}
+	// 5xx is bad regardless of latency.
+	tr.Observe(500, time.Microsecond)
+	if got := tr.Report().TotalBad; got != 2 {
+		t.Fatalf("bad = %d, want 2", got)
+	}
+	// Advance past the short window: the 5m burn decays to 0 while the 1h
+	// window still remembers.
+	step(6 * time.Minute)
+	if burn := tr.BurnRate(5 * time.Minute); burn != 0 {
+		t.Fatalf("short-window burn = %v after idle gap, want 0", burn)
+	}
+	if burn := tr.BurnRate(time.Hour); burn == 0 {
+		t.Fatal("long-window burn forgot the bad requests")
+	}
+	// Advance past the long window: everything decays.
+	step(2 * time.Hour)
+	if burn := tr.BurnRate(time.Hour); burn != 0 {
+		t.Fatalf("burn = %v after full window expiry, want 0", burn)
+	}
+}
+
+func TestSLOSetSeriesAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	now := time.Unix(1700000000, 0)
+	set := NewSLOSet(SLOConfig{
+		Target: 50 * time.Millisecond, Objective: 0.9, Window: time.Hour,
+		Clock: func() time.Time { return now },
+	}, reg)
+	set.Observe("prediction", "normal", 200, 10*time.Millisecond)
+	set.Observe("prediction", "normal", 500, 10*time.Millisecond)
+	set.Observe("whatif", "batch", 200, 10*time.Millisecond)
+	reports := set.Reports()
+	agg := reports[""]
+	if agg.TotalGood != 2 || agg.TotalBad != 1 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if reports["prediction|normal"].TotalBad != 1 {
+		t.Fatalf("series report: %+v", reports["prediction|normal"])
+	}
+	if reports["whatif|batch"].TotalGood != 1 {
+		t.Fatalf("series report: %+v", reports["whatif|batch"])
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`epi_slo_burn_rate{window="1h0m0s"}`,
+		`epi_slo_burn_rate{window="5m0s",workflow="prediction",priority="normal"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}
+
+func TestFileJournalCloseFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "req.jsonl")
+	j, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		j.Emit(Entry{Type: EntrySpan, Name: "request", Req: fmt.Sprintf("r%d", i), Seconds: 0.1})
+	}
+	// The writer is buffered: before Close the file may be empty; after
+	// Close every entry must be on disk.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	es, err := ReadEntries(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 10 {
+		t.Fatalf("read %d entries, want 10 (tail lost without flush-on-close)", len(es))
+	}
+	if es[3].Req != "r3" {
+		t.Fatalf("Req round-trip: %+v", es[3])
+	}
+	// Writes after Close are dropped, and a second Close is a no-op.
+	j.Emit(Entry{Type: EntryEvent, Name: "late"})
+	if err := j.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := os.Open(path)
+	defer f2.Close()
+	es2, _ := ReadEntries(f2)
+	if len(es2) != 10 {
+		t.Fatalf("post-close emit leaked to disk (%d entries, size %d)", len(es2), fi.Size())
+	}
+}

@@ -29,23 +29,59 @@ func FixedClock(start time.Time, step time.Duration) Clock {
 	}
 }
 
-// Attr is one key/value annotation on a span or event.
+// Attr is one key/value annotation on a span or event. It is a tagged
+// union rather than a boxed any so that building attributes on the traced
+// hot path never allocates; Value boxes lazily at read/export time.
 type Attr struct {
-	Key   string
-	Value any
+	Key  string
+	kind uint8
+	s    string
+	i    int64
+	f    float64
+	v    any // attrAny only (journal read-back of non-scalar values)
 }
 
+const (
+	attrString uint8 = iota
+	attrInt
+	attrFloat
+	attrBool
+	attrAny
+)
+
 // String builds a string attribute.
-func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+func String(k, v string) Attr { return Attr{Key: k, kind: attrString, s: v} }
 
 // Int builds an integer attribute.
-func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+func Int(k string, v int64) Attr { return Attr{Key: k, kind: attrInt, i: v} }
 
 // Float builds a float attribute.
-func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+func Float(k string, v float64) Attr { return Attr{Key: k, kind: attrFloat, f: v} }
 
 // Bool builds a boolean attribute.
-func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Attr{Key: k, kind: attrBool, i: i}
+}
+
+// Value returns the attribute's value boxed as any.
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrString:
+		return a.s
+	case attrInt:
+		return a.i
+	case attrFloat:
+		return a.f
+	case attrBool:
+		return a.i != 0
+	default:
+		return a.v
+	}
+}
 
 // Sink consumes journal entries (span closes and point events). Journal and
 // Collector implement it.
@@ -108,6 +144,7 @@ type ctxKey int
 const (
 	tracerKey ctxKey = iota
 	spanKey
+	reqTraceKey
 )
 
 // WithTracer attaches a tracer to the context; all StartSpan/Event calls
@@ -126,6 +163,51 @@ func TracerFrom(ctx context.Context) *Tracer {
 func SpanFrom(ctx context.Context) *Span {
 	s, _ := ctx.Value(spanKey).(*Span)
 	return s
+}
+
+// traceCtx carries the full tracing identity — tracer, current span, and
+// request trace — as ONE context link instead of three stacked WithValue
+// wrappers: request attach and trace adoption sit on every served request,
+// so the shallower chain saves both allocations and Value-lookup hops. A
+// nil field falls through to the parent context.
+type traceCtx struct {
+	context.Context
+	t  *Tracer
+	s  *Span
+	rt *RequestTrace
+}
+
+func (c *traceCtx) Value(key any) any {
+	switch key {
+	case tracerKey:
+		if c.t != nil {
+			return c.t
+		}
+	case spanKey:
+		if c.s != nil {
+			return c.s
+		}
+	case reqTraceKey:
+		if c.rt != nil {
+			return c.rt
+		}
+	}
+	return c.Context.Value(key)
+}
+
+// AdoptTrace transplants src's tracing identity — tracer, current span, and
+// request trace — onto dst and returns the combined context. It carries NO
+// cancellation or deadline from src: the serving tier uses it to let a job
+// that outlives its submitting HTTP request (worker-pool execution, replica
+// redispatch) keep reporting spans into the submitter's request trace while
+// the job's lifecycle stays bound to the service's own context tree. When
+// src carries no tracer, dst is returned unchanged.
+func AdoptTrace(dst, src context.Context) context.Context {
+	t := TracerFrom(src)
+	if t == nil {
+		return dst
+	}
+	return &traceCtx{Context: dst, t: t, s: SpanFrom(src), rt: RequestTraceFrom(src)}
 }
 
 // StartSpan opens a span under the context's tracer and current span and
@@ -213,7 +295,7 @@ func (s *Span) End() {
 			StartNS: s.start.UnixNano(),
 			EndNS:   end.UnixNano(),
 			Seconds: dur,
-			Attrs:   attrMap(attrs),
+			Attrs:   attrList(attrs),
 		})
 	}
 	if s.tracer.reg != nil {
@@ -243,18 +325,15 @@ func (t *Tracer) emitEvent(span uint64, name string, attrs []Attr) {
 		Name:  name,
 		Span:  span,
 		AtNS:  t.clock().UnixNano(),
-		Attrs: attrMap(attrs),
+		Attrs: attrList(attrs),
 	})
 }
 
-// attrMap flattens attributes for JSON encoding; later keys win.
-func attrMap(attrs []Attr) map[string]any {
+// attrList trims the hot-path attr slice for an Entry: nil for empty so
+// JSON omitempty fires, otherwise the slice as-is (no copy, no map).
+func attrList(attrs []Attr) AttrList {
 	if len(attrs) == 0 {
 		return nil
 	}
-	m := make(map[string]any, len(attrs))
-	for _, a := range attrs {
-		m[a.Key] = a.Value
-	}
-	return m
+	return AttrList(attrs)
 }

@@ -40,10 +40,10 @@ func TestSpanNestingAndAttrs(t *testing.T) {
 	if ev.Span != pSpan.Span {
 		t.Fatalf("event bound to span %d, want %d", ev.Span, pSpan.Span)
 	}
-	if pSpan.Attrs["tasks"] != float64(306) && pSpan.Attrs["tasks"] != int64(306) {
+	if v, _ := pSpan.Attrs.Get("tasks"); v != int64(306) {
 		t.Fatalf("attr lost: %+v", pSpan.Attrs)
 	}
-	if nSpan.Attrs["workflow"] != "Prediction" {
+	if v, _ := nSpan.Attrs.Get("workflow"); v != "Prediction" {
 		t.Fatalf("night attrs: %+v", nSpan.Attrs)
 	}
 	// FixedClock: night opened at t=0s, partition at 1s, event at 2s,

@@ -3,6 +3,7 @@ package replica
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -79,6 +80,8 @@ func (c *Coordinator) enrollLocked(t *ticket) {
 		}()
 		return
 	}
+	obs.Event(t.tickCtx(), "batch.enroll",
+		obs.String("family", key), obs.Int("whatifs", int64(len(t.spec.WhatIfs))))
 	b := c.batches[key]
 	if b != nil {
 		if merged, ok := mergeWhatIfs(b.whatifs, t.spec.WhatIfs); ok {
@@ -193,11 +196,21 @@ func (c *Coordinator) ensembleTicket(members []*ticket) (*ticket, error) {
 		ens.interest += len(members)
 		ens.mu.Unlock()
 	} else {
+		// The ensemble execution reports its spans (dispatch, queue wait,
+		// engine phases) into the first member's request trace; the other
+		// members see their membership through batch.member/batch.slice
+		// events carrying the ensemble's batch ID.
 		ens = &ticket{c: c, hash: ehash, spec: espec,
 			pri:  scenario.PriorityInteractive,
-			done: make(chan struct{}), interest: len(members)}
+			done: make(chan struct{}), interest: len(members),
+			tctx: members[0].tickCtx()}
 		c.tickets[ehash] = ens
 		c.registry[ehash] = ens
+	}
+	for _, m := range members {
+		obs.Event(m.tickCtx(), "batch.member",
+			obs.String("batch", ehash), obs.Int("members", int64(len(members))),
+			obs.String("hash", m.hash))
 	}
 	// The merged spec can coincide with one member's own spec (its
 	// what-ifs already cover the union); that member then IS the ensemble
@@ -240,6 +253,9 @@ func (c *Coordinator) fanBack(ens *ticket, members []*ticket) {
 		}
 		mres := sliceResult(res, m.hash, m.spec)
 		c.shared.Put(m.hash, mres)
+		obs.Event(m.tickCtx(), "batch.slice",
+			obs.String("batch", ens.hash), obs.String("hash", m.hash),
+			obs.Int("scenarios", int64(len(mres.Scenarios))))
 		c.finalizeTicket(m, mres, nil)
 	}
 	// Balance the members' interest references on the ensemble (each

@@ -91,7 +91,7 @@ func TestChaosKillReplicaMidRun(t *testing.T) {
 	var wg sync.WaitGroup
 	errs := make([]error, jobs)
 	for i := 0; i < jobs; i++ {
-		h, err := c.Submit(predSpec("VA", 10+i), scenario.PriorityNormal)
+		h, err := c.Submit(context.Background(), predSpec("VA", 10+i), scenario.PriorityNormal)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}

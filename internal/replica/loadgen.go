@@ -30,11 +30,22 @@ type LoadgenConfig struct {
 	SpecFor func(client, seq int) scenario.Spec
 	// Priority is the admission class query parameter ("" = normal).
 	Priority string
+	// PriorityFor overrides Priority per request (the -mix profile); nil
+	// sends every request at Priority.
+	PriorityFor func(client, seq int) string
 	// Client overrides the HTTP client (default: pooled, 30s timeout).
 	Client *http.Client
 	// Registry, when set, receives the run's latency histogram and
 	// throughput gauge under epi_loadgen_* (the PR 5 metrics surface).
 	Registry *obs.Registry
+}
+
+// PriorityStats is the per-class latency breakdown in a LoadgenReport.
+type PriorityStats struct {
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	P50ms    float64 `json:"p50_ms"`
+	P99ms    float64 `json:"p99_ms"`
 }
 
 // LoadgenReport summarizes one load run.
@@ -51,6 +62,12 @@ type LoadgenReport struct {
 	P50ms      float64       `json:"p50_ms"`
 	P99ms      float64       `json:"p99_ms"`
 	Throughput float64       `json:"throughput_rps"`
+	// ByPriority breaks latency down per admission class actually sent.
+	ByPriority map[string]PriorityStats `json:"by_priority,omitempty"`
+	// SlowestID echoes the server's X-Request-Id for the slowest request of
+	// the run, ready to paste into GET /debug/requests/{id}.
+	SlowestID string  `json:"slowest_request_id,omitempty"`
+	SlowestMS float64 `json:"slowest_ms"`
 }
 
 // DefaultSpecFor is the cache-miss traffic profile: unique prediction
@@ -94,16 +111,15 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 			},
 		}
 	}
-	url := cfg.BaseURL + "/scenarios?wait=1"
-	if cfg.Priority != "" {
-		url += "&priority=" + cfg.Priority
-	}
+	baseURL := cfg.BaseURL + "/scenarios?wait=1"
 
 	perClient := (cfg.Requests + cfg.Clients - 1) / cfg.Clients
 	type sample struct {
-		lat time.Duration
-		ok  bool
-		st  int
+		lat   time.Duration
+		ok    bool
+		st    int
+		pri   string
+		reqID string
 	}
 	samples := make([][]sample, cfg.Clients)
 	var wg sync.WaitGroup
@@ -123,20 +139,41 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 			defer wg.Done()
 			for seq := 0; seq < n; seq++ {
 				spec := cfg.SpecFor(ci, seq)
+				pri := cfg.Priority
+				if cfg.PriorityFor != nil {
+					pri = cfg.PriorityFor(ci, seq)
+				}
+				url := baseURL
+				if pri != "" {
+					url += "&priority=" + pri
+				}
+				if pri == "" {
+					pri = "normal"
+				}
 				body, err := json.Marshal(spec)
 				if err != nil {
-					samples[ci] = append(samples[ci], sample{ok: false})
+					samples[ci] = append(samples[ci], sample{ok: false, pri: pri})
 					continue
 				}
+				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					samples[ci] = append(samples[ci], sample{ok: false, pri: pri})
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := client.Do(req)
 				lat := time.Since(t0)
-				s := sample{lat: lat}
+				s := sample{lat: lat, pri: pri}
 				if err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					s.st = resp.StatusCode
 					s.ok = resp.StatusCode == http.StatusOK
+					// The server mints (or echoes) a request trace ID; keep it
+					// so the slowest request can be pulled from the flight
+					// recorder afterwards.
+					s.reqID = resp.Header.Get("X-Request-Id")
 				}
 				samples[ci] = append(samples[ci], s)
 			}
@@ -147,11 +184,14 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 
 	rep := LoadgenReport{Clients: cfg.Clients, StatusDist: map[int]int{}}
 	var lats []time.Duration
+	byPri := map[string][]time.Duration{}
+	priOK := map[string]int{}
 	for _, cs := range samples {
 		for _, s := range cs {
 			rep.Requests++
 			if s.ok {
 				rep.OK++
+				priOK[s.pri]++
 			} else {
 				rep.Errors++
 			}
@@ -159,6 +199,11 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 				rep.StatusDist[s.st]++
 			}
 			lats = append(lats, s.lat)
+			byPri[s.pri] = append(byPri[s.pri], s.lat)
+			if s.reqID != "" && (rep.SlowestID == "" || s.lat > time.Duration(rep.SlowestMS*float64(time.Millisecond))) {
+				rep.SlowestID = s.reqID
+				rep.SlowestMS = float64(s.lat) / float64(time.Millisecond)
+			}
 		}
 	}
 	if rep.Requests == 0 {
@@ -172,6 +217,16 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 	rep.Elapsed = elapsed
 	rep.ElapsedSec = elapsed.Seconds()
 	rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	rep.ByPriority = map[string]PriorityStats{}
+	for pri, ls := range byPri {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		rep.ByPriority[pri] = PriorityStats{
+			Requests: len(ls),
+			OK:       priOK[pri],
+			P50ms:    float64(quantile(ls, 0.50)) / float64(time.Millisecond),
+			P99ms:    float64(quantile(ls, 0.99)) / float64(time.Millisecond),
+		}
+	}
 
 	if cfg.Registry != nil {
 		cfg.Registry.Help("epi_loadgen_latency_seconds", "client-observed request latency")

@@ -69,9 +69,13 @@ func TestLoadProof(t *testing.T) {
 		t.Fatalf("throughput %.2f, want > 0", rep.Throughput)
 	}
 	// Every request was a distinct spec: the cluster computed all of them.
+	// A loaded machine may shed some submissions (429 → client retry →
+	// re-submission of the same spec), so Submitted can legitimately exceed
+	// the request count; fewer would mean specs accidentally shared a cache
+	// entry.
 	snap := c.MetricsSnapshot()
-	if snap.Submitted != requests {
-		t.Fatalf("cluster submitted %d, want %d cache misses", snap.Submitted, requests)
+	if snap.Submitted < requests {
+		t.Fatalf("cluster submitted %d, want ≥ %d cache misses", snap.Submitted, requests)
 	}
 	t.Logf("load proof: p50=%s p99=%s throughput=%.1f req/s", rep.P50, rep.P99, rep.Throughput)
 }

@@ -111,6 +111,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		sc := cfg.Base
 		sc.Registry = nil // private per replica; see Config.Base
 		sc.Shared = shared
+		sc.Name = fmt.Sprintf("r%d", i)
 		if cfg.RunnerFor != nil {
 			sc.Runner = cfg.RunnerFor(i)
 		}
@@ -141,9 +142,12 @@ func (c *Coordinator) Replicas() int { return len(c.replicas) }
 func (c *Coordinator) Registry() *obs.Registry { return c.reg }
 
 // Submit admits a spec at a priority class (scenario.Backend). The flow
-// mirrors Service.SubmitPri one level up: shared-store hit → coordinator
+// mirrors Service.SubmitCtx one level up: shared-store hit → coordinator
 // single-flight attach → aggregate admission control → batch or dispatch.
-func (c *Coordinator) Submit(spec scenario.Spec, pri scenario.Priority) (scenario.Handle, error) {
+// ctx contributes tracing identity only (see Backend.Submit): the request
+// trace follows the ticket through dispatch, steal, requeue, and batch
+// hops; lifecycle stays with interest references.
+func (c *Coordinator) Submit(ctx context.Context, spec scenario.Spec, pri scenario.Priority) (scenario.Handle, error) {
 	ns, err := spec.Normalize()
 	if err != nil {
 		return nil, &scenario.BadSpecError{Err: err}
@@ -153,6 +157,7 @@ func (c *Coordinator) Submit(spec scenario.Spec, pri scenario.Priority) (scenari
 		return nil, &scenario.BadSpecError{Err: err}
 	}
 	if res, ok := c.shared.Get(hash); ok {
+		obs.Event(ctx, "castore.hit", obs.String("hash", hash))
 		return terminalTicket(hash, res), nil
 	}
 	c.mu.Lock()
@@ -166,14 +171,23 @@ func (c *Coordinator) Submit(spec scenario.Spec, pri scenario.Priority) (scenari
 		t.shared++
 		t.mu.Unlock()
 		c.mu.Unlock()
+		obs.Event(ctx, "singleflight.attach", obs.String("hash", hash),
+			obs.String("layer", "coordinator"))
 		return t, nil
 	}
 	if err := c.admitLocked(pri); err != nil {
 		c.mu.Unlock()
+		reason := "queue_full"
+		if _, ok := err.(*scenario.ShedError); ok {
+			reason = "shed"
+		}
+		obs.Event(ctx, "admission.reject", obs.String("reason", reason),
+			obs.String("class", pri.String()), obs.String("layer", "coordinator"))
 		return nil, err
 	}
 	t := &ticket{c: c, hash: hash, spec: ns, pri: pri,
-		done: make(chan struct{}), interest: 1}
+		done: make(chan struct{}), interest: 1,
+		tctx: obs.AdoptTrace(context.Background(), ctx)}
 	c.tickets[hash] = t
 	c.registry[hash] = t
 	if c.batchWindow > 0 && batchable(ns) {
@@ -263,9 +277,11 @@ func (c *Coordinator) upCandidates() []*replicaHandle {
 // per replica would shed admitted work.
 func (c *Coordinator) dispatch(t *ticket) error {
 	for _, rep := range c.upCandidates() {
-		j, err := rep.svc.SubmitPri(t.spec, scenario.PriorityInteractive)
+		j, err := rep.svc.SubmitCtx(t.tickCtx(), t.spec, scenario.PriorityInteractive)
 		switch {
 		case err == nil:
+			obs.Event(t.tickCtx(), "replica.dispatch",
+				obs.Int("replica", int64(rep.id)), obs.String("hash", t.hash))
 			t.mu.Lock()
 			t.job, t.rep = j, rep
 			canceled := t.clientCanceled
@@ -309,6 +325,8 @@ func (c *Coordinator) watch(t *ticket, rep *replicaHandle, j *scenario.Job) {
 		t.job, t.rep = nil, nil
 		t.mu.Unlock()
 		c.requeues.Add(1)
+		obs.Event(t.tickCtx(), "replica.requeue",
+			obs.Int("from", int64(rep.id)), obs.String("hash", t.hash))
 		if derr := c.dispatch(t); derr != nil {
 			c.finalizeTicket(t, nil, derr)
 		}
@@ -527,36 +545,53 @@ type ReplicaInfo struct {
 	Running  int  `json:"running"`
 	Workers  int  `json:"workers"`
 	QueueCap int  `json:"queue_cap"`
+	// QueuedByClass breaks Queued down per priority class
+	// (interactive/normal/batch) so operators can see whose work is waiting
+	// where. Note the coordinator dispatches admitted work at interactive
+	// class (see dispatch); the aggregate view reflects coordinator-level
+	// classes via the ticket table.
+	QueuedByClass map[string]int `json:"queued_by_class"`
 }
 
 // ClusterStatus is the /replicas payload.
 type ClusterStatus struct {
 	Replicas    []ReplicaInfo `json:"replicas"`
 	LiveTickets int           `json:"live_tickets"`
-	Dispatched  int64         `json:"dispatched"`
-	Steals      int64         `json:"steals"`
-	Requeues    int64         `json:"requeues"`
-	BatchExecs  int64         `json:"batch_execs"`
-	BatchMembs  int64         `json:"batch_members"`
-	SharedKeys  int           `json:"shared_keys"`
+	// QueuedByClass aggregates the per-class queued counts across the up
+	// replicas' queues.
+	QueuedByClass map[string]int `json:"queued_by_class"`
+	Dispatched    int64          `json:"dispatched"`
+	Steals        int64          `json:"steals"`
+	Requeues      int64          `json:"requeues"`
+	BatchExecs    int64          `json:"batch_execs"`
+	BatchMembs    int64          `json:"batch_members"`
+	SharedKeys    int            `json:"shared_keys"`
 }
 
 // ReplicaStatus implements the HTTP layer's optional /replicas extension.
 func (c *Coordinator) ReplicaStatus() any {
 	st := ClusterStatus{
-		Dispatched: c.dispatched.Load(),
-		Steals:     c.steals.Load(),
-		Requeues:   c.requeues.Load(),
-		BatchExecs: c.batchExecs.Load(),
-		BatchMembs: c.batchMembs.Load(),
-		SharedKeys: len(c.shared.Keys()),
+		QueuedByClass: map[string]int{},
+		Dispatched:    c.dispatched.Load(),
+		Steals:        c.steals.Load(),
+		Requeues:      c.requeues.Load(),
+		BatchExecs:    c.batchExecs.Load(),
+		BatchMembs:    c.batchMembs.Load(),
+		SharedKeys:    len(c.shared.Keys()),
 	}
 	for _, r := range c.replicas {
 		q, run := r.svc.Loads()
+		byClass := r.svc.QueuedByClass()
 		st.Replicas = append(st.Replicas, ReplicaInfo{
 			ID: r.id, Up: !r.down.Load(), Queued: q, Running: run,
 			Workers: r.svc.Workers(), QueueCap: r.svc.QueueCap(),
+			QueuedByClass: byClass,
 		})
+		if !r.down.Load() {
+			for k, v := range byClass {
+				st.QueuedByClass[k] += v
+			}
+		}
 	}
 	c.mu.Lock()
 	st.LiveTickets = len(c.tickets)
@@ -656,11 +691,14 @@ func (c *Coordinator) stealOne(donor, idle *replicaHandle) bool {
 		canceled := t.clientCanceled
 		t.mu.Unlock()
 		c.steals.Add(1)
+		obs.Event(t.tickCtx(), "replica.steal",
+			obs.Int("from", int64(donor.id)), obs.Int("to", int64(idle.id)),
+			obs.String("hash", t.hash))
 		if canceled {
 			c.finalizeTicket(t, nil, context.Canceled)
 			return true
 		}
-		j, err := idle.svc.SubmitPri(spec, scenario.PriorityInteractive)
+		j, err := idle.svc.SubmitCtx(t.tickCtx(), spec, scenario.PriorityInteractive)
 		if err != nil {
 			// Idle peer refused (raced with other load); fall back to any
 			// up replica, and as a last resort finalize with the error so

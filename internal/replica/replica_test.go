@@ -129,11 +129,11 @@ func waitFor(t *testing.T, what string, ok func() bool) {
 
 func TestCoordinatorSingleFlightAcrossFrontDoor(t *testing.T) {
 	c, cr := testCoordinator(t, 2, 1, 8, nil)
-	h1, err := c.Submit(predSpec("VA", 30), scenario.PriorityNormal)
+	h1, err := c.Submit(context.Background(), predSpec("VA", 30), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := c.Submit(predSpec("va", 30), scenario.PriorityNormal)
+	h2, err := c.Submit(context.Background(), predSpec("va", 30), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestCoordinatorSingleFlightAcrossFrontDoor(t *testing.T) {
 
 func TestSharedStoreServesPeerResults(t *testing.T) {
 	c, cr := testCoordinator(t, 2, 1, 8, nil)
-	h, err := c.Submit(predSpec("VA", 40), scenario.PriorityNormal)
+	h, err := c.Submit(context.Background(), predSpec("VA", 40), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestSharedStoreServesPeerResults(t *testing.T) {
 
 	// The same spec resubmitted is a shared-store hit: served terminal,
 	// no new execution anywhere in the cluster.
-	h2, err := c.Submit(predSpec("VA", 40), scenario.PriorityNormal)
+	h2, err := c.Submit(context.Background(), predSpec("VA", 40), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestWorkStealingMovesQueuedJobToIdlePeer(t *testing.T) {
 	// Occupy both workers, then queue one more job on each replica.
 	handles := map[string]scenario.Handle{}
 	for i, st := range []string{"VA", "NC", "MD", "GA"} {
-		h, err := c.Submit(predSpec(st, 20), scenario.PriorityNormal)
+		h, err := c.Submit(context.Background(), predSpec(st, 20), scenario.PriorityNormal)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -297,11 +297,11 @@ func TestBatchingMergesNearIdenticalWhatIfs(t *testing.T) {
 	c, cr := testCoordinator(t, 2, 2, 8, func(cfg *Config) {
 		cfg.BatchWindow = 30 * time.Millisecond
 	})
-	h1, err := c.Submit(whatIfSpec("alpha"), scenario.PriorityNormal)
+	h1, err := c.Submit(context.Background(), whatIfSpec("alpha"), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := c.Submit(whatIfSpec("beta"), scenario.PriorityNormal)
+	h2, err := c.Submit(context.Background(), whatIfSpec("beta"), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestBatchingMergesNearIdenticalWhatIfs(t *testing.T) {
 	}
 	// Member results were published per-member: resubmitting a member spec
 	// is a cluster-wide cache hit.
-	h3, err := c.Submit(whatIfSpec("alpha"), scenario.PriorityNormal)
+	h3, err := c.Submit(context.Background(), whatIfSpec("alpha"), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestCoordinatorAdmissionControl(t *testing.T) {
 	// Fill both workers, then both queues (aggregate queue capacity 4).
 	var handles []scenario.Handle
 	for i := 0; i < 2; i++ {
-		h, err := c.Submit(predSpec("VA", 10+i), scenario.PriorityInteractive)
+		h, err := c.Submit(context.Background(), predSpec("VA", 10+i), scenario.PriorityInteractive)
 		if err != nil {
 			t.Fatalf("interactive submit %d: %v", i, err)
 		}
@@ -371,18 +371,18 @@ func TestCoordinatorAdmissionControl(t *testing.T) {
 		return st.Replicas[0].Running == 1 && st.Replicas[1].Running == 1
 	})
 	for i := 2; i < 6; i++ {
-		h, err := c.Submit(predSpec("VA", 10+i), scenario.PriorityInteractive)
+		h, err := c.Submit(context.Background(), predSpec("VA", 10+i), scenario.PriorityInteractive)
 		if err != nil {
 			t.Fatalf("interactive submit %d: %v", i, err)
 		}
 		handles = append(handles, h)
 	}
-	if _, err := c.Submit(predSpec("VA", 90), scenario.PriorityInteractive); !errors.Is(err, scenario.ErrQueueFull) {
+	if _, err := c.Submit(context.Background(), predSpec("VA", 90), scenario.PriorityInteractive); !errors.Is(err, scenario.ErrQueueFull) {
 		t.Fatalf("want ErrQueueFull at aggregate capacity, got %v", err)
 	}
 	// At hard-full the saturation signal wins for every class — batch gets
 	// queue-full, not a class shed (class sheds require spare capacity).
-	if _, err := c.Submit(predSpec("VA", 91), scenario.PriorityBatch); !errors.Is(err, scenario.ErrQueueFull) {
+	if _, err := c.Submit(context.Background(), predSpec("VA", 91), scenario.PriorityBatch); !errors.Is(err, scenario.ErrQueueFull) {
 		t.Fatalf("want ErrQueueFull for batch at hard-full, got %v", err)
 	}
 	cr.release(0, 8)
@@ -397,7 +397,7 @@ func TestBatchClassShedsBeforeQueueFull(t *testing.T) {
 	var handles []scenario.Handle
 	// Occupy workers, then push queued depth to half of aggregate capacity.
 	for i := 0; i < 2; i++ {
-		h, err := c.Submit(predSpec("VA", 10+i), scenario.PriorityInteractive)
+		h, err := c.Submit(context.Background(), predSpec("VA", 10+i), scenario.PriorityInteractive)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -408,17 +408,17 @@ func TestBatchClassShedsBeforeQueueFull(t *testing.T) {
 		return st.Replicas[0].Running == 1 && st.Replicas[1].Running == 1
 	})
 	for i := 2; i < 10; i++ {
-		h, err := c.Submit(predSpec("VA", 10+i), scenario.PriorityInteractive)
+		h, err := c.Submit(context.Background(), predSpec("VA", 10+i), scenario.PriorityInteractive)
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 		handles = append(handles, h)
 	}
 	var shed *scenario.ShedError
-	if _, err := c.Submit(predSpec("VA", 80), scenario.PriorityBatch); !errors.As(err, &shed) {
+	if _, err := c.Submit(context.Background(), predSpec("VA", 80), scenario.PriorityBatch); !errors.As(err, &shed) {
 		t.Fatalf("want batch shed at half queue, got %v", err)
 	}
-	if _, err := c.Submit(predSpec("VA", 81), scenario.PriorityNormal); err != nil {
+	if _, err := c.Submit(context.Background(), predSpec("VA", 81), scenario.PriorityNormal); err != nil {
 		t.Fatalf("normal class should still admit: %v", err)
 	}
 	cr.release(0, 16)
@@ -430,11 +430,11 @@ func TestBatchClassShedsBeforeQueueFull(t *testing.T) {
 
 func TestKillReplicaRequeuesOnPeer(t *testing.T) {
 	c, cr := testCoordinator(t, 2, 1, 8, nil)
-	h1, err := c.Submit(predSpec("VA", 30), scenario.PriorityNormal)
+	h1, err := c.Submit(context.Background(), predSpec("VA", 30), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := c.Submit(predSpec("NC", 30), scenario.PriorityNormal)
+	h2, err := c.Submit(context.Background(), predSpec("NC", 30), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestKillReplicaRequeuesOnPeer(t *testing.T) {
 
 func TestCoordinatorCancelAndAbandon(t *testing.T) {
 	c, cr := testCoordinator(t, 2, 1, 8, nil)
-	h, err := c.Submit(predSpec("VA", 30), scenario.PriorityNormal)
+	h, err := c.Submit(context.Background(), predSpec("VA", 30), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -489,7 +489,7 @@ func TestCoordinatorCancelAndAbandon(t *testing.T) {
 		t.Fatalf("want cancellation, got %v", err)
 	}
 	// Abandonment: a waiter that releases its only interest cancels the run.
-	h2, err := c.Submit(predSpec("NC", 30), scenario.PriorityNormal)
+	h2, err := c.Submit(context.Background(), predSpec("NC", 30), scenario.PriorityNormal)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,12 @@ type ticket struct {
 	spec scenario.Spec
 	pri  scenario.Priority
 	done chan struct{}
+	// tctx carries the submitting request's tracing identity (obs.AdoptTrace
+	// over context.Background(): values only, no cancellation) so dispatch,
+	// steal, requeue and batch hops report into that request's trace no
+	// matter which goroutine performs them. context.Background() itself for
+	// untraced submissions. Set at creation; read-only afterwards.
+	tctx context.Context
 
 	mu  sync.Mutex
 	job *scenario.Job  // current dispatch; nil while batched or migrating
@@ -70,6 +76,15 @@ func terminalTicket(hash string, res *scenario.Result) *ticket {
 
 // ID returns the spec's content address (scenario.Handle).
 func (t *ticket) ID() string { return t.hash }
+
+// tickCtx returns the ticket's trace-carrying context, never nil (ensemble
+// tickets built outside Submit, and tests, may leave tctx unset).
+func (t *ticket) tickCtx() context.Context {
+	if t.tctx == nil {
+		return context.Background()
+	}
+	return t.tctx
+}
 
 // Wait blocks until the ticket finalizes or ctx expires. As with Job.Wait,
 // a ctx expiry does not release the caller's interest.

@@ -34,9 +34,11 @@ func (j *Job) ID() string { return j.Hash }
 // *Service (via serviceBackend) or a replica coordinator fronting many.
 type Backend interface {
 	// Submit admits a spec at a priority class and returns a Handle holding
-	// one interest reference. Errors: *BadSpecError, ErrQueueFull,
-	// *ShedError, ErrDraining.
-	Submit(spec Spec, pri Priority) (Handle, error)
+	// one interest reference. ctx contributes tracing identity only (a
+	// request trace rides it into the queue and engine); it does NOT govern
+	// the submission's lifecycle — that is what interest references are for.
+	// Errors: *BadSpecError, ErrQueueFull, *ShedError, ErrDraining.
+	Submit(ctx context.Context, spec Spec, pri Priority) (Handle, error)
 	// Lookup resolves a previously issued ID. The returned Handle carries
 	// NO interest reference: Status and Wait are safe, Release is not owed.
 	Lookup(id string) (Handle, bool)
@@ -58,8 +60,8 @@ type serviceBackend struct{ svc *Service }
 // AsBackend wraps a single Service as a Backend for the HTTP layer.
 func AsBackend(svc *Service) Backend { return serviceBackend{svc: svc} }
 
-func (b serviceBackend) Submit(spec Spec, pri Priority) (Handle, error) {
-	j, err := b.svc.SubmitPri(spec, pri)
+func (b serviceBackend) Submit(ctx context.Context, spec Spec, pri Priority) (Handle, error) {
+	j, err := b.svc.SubmitCtx(ctx, spec, pri)
 	if err != nil {
 		return nil, err
 	}

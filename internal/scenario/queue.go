@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -157,6 +158,19 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
+	// runCtx carries the submitter's tracing identity (tracer, current span,
+	// request trace) on top of the job's own lifecycle context (obs.AdoptTrace)
+	// so engine spans report into the submitting request's trace while
+	// cancellation stays bound to j.ctx. Equal to j.ctx for untraced
+	// submissions. Set before the job is published; read-only afterwards.
+	runCtx context.Context
+	// pri is the admission class the job entered the queue under (for the
+	// per-class queue accounting).
+	pri Priority
+	// qspan is the open queue.wait span, ended exactly once when the job
+	// leaves the queue (run, steal, or cancel). Span methods are internally
+	// synchronized and nil-safe.
+	qspan *obs.Span
 
 	mu       sync.Mutex
 	state    JobState
@@ -255,6 +269,10 @@ func (j *Job) Status() JobStatus {
 
 // Config parameterizes a Service.
 type Config struct {
+	// Name identifies the service in traces and pprof labels — the replica
+	// coordinator names its members "r0", "r1", ...; a single service
+	// defaults to "r0".
+	Name string
 	// Pipeline is the shared workflow substrate.
 	Pipeline *core.Pipeline
 	// Workers is the fixed worker-pool size (default 2).
@@ -293,6 +311,7 @@ type Config struct {
 // Service is the scenario engine: admission control, content-addressed
 // cache, single-flight queue, worker pool, metrics, graceful drain.
 type Service struct {
+	name        string
 	runner      Runner
 	fingerprint string
 	cache       *Cache
@@ -316,6 +335,7 @@ type Service struct {
 	draining bool
 	counts   struct {
 		queued, running                int
+		queuedBy                       [3]int // per Priority class
 		done, failed, canceled, stolen int64
 	}
 }
@@ -335,7 +355,11 @@ func NewService(cfg Config) *Service {
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = 5 * time.Second
 	}
+	if cfg.Name == "" {
+		cfg.Name = "r0"
+	}
 	s := &Service{
+		name:       cfg.Name,
 		workers:    cfg.Workers,
 		queueCap:   cfg.QueueCap,
 		drainGrace: cfg.DrainGrace,
@@ -387,6 +411,15 @@ func (s *Service) registerGauges() {
 	}
 	reg.Help("epi_scenario_queue_depth", "jobs waiting for a worker")
 	reg.GaugeFunc("epi_scenario_queue_depth", jobCount(func() int64 { q, _, _, _, _, _ := counts(); return int64(q) }))
+	reg.Help("epi_scenario_queue_depth_class", "jobs waiting for a worker, by priority class")
+	for _, pri := range []Priority{PriorityInteractive, PriorityNormal, PriorityBatch} {
+		pri := pri
+		reg.GaugeFunc(`epi_scenario_queue_depth_class{class="`+pri.String()+`"}`, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.counts.queuedBy[pri])
+		})
+	}
 	reg.Help("epi_scenario_queue_capacity", "bounded queue capacity")
 	reg.GaugeFunc("epi_scenario_queue_capacity", func() float64 { return float64(s.queueCap) })
 	reg.Help("epi_scenario_workers", "worker-pool size")
@@ -437,6 +470,16 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 // class-blind — a result that already exists (or is being computed) is
 // served to any class.
 func (s *Service) SubmitPri(spec Spec, pri Priority) (*Job, error) {
+	return s.SubmitCtx(context.Background(), spec, pri)
+}
+
+// SubmitCtx is SubmitPri with the submitter's context: when ctx carries a
+// request trace (obs), the admission decision, queue wait, and the job's
+// whole execution report spans and events into it. ctx contributes ONLY
+// tracing identity — job lifecycle and cancellation are governed by
+// interest references and the service's own context tree, exactly as for
+// an untraced submission, so traced runs stay bit-identical to untraced.
+func (s *Service) SubmitCtx(ctx context.Context, spec Spec, pri Priority) (*Job, error) {
 	ns, err := spec.Normalize()
 	if err != nil {
 		return nil, &BadSpecError{Err: err}
@@ -446,6 +489,7 @@ func (s *Service) SubmitPri(spec Spec, pri Priority) (*Job, error) {
 		return nil, &BadSpecError{Err: err}
 	}
 	if res, ok := s.cache.Get(hash); ok {
+		obs.Event(ctx, "cache.hit", obs.String("hash", hash), obs.String("replica", s.name))
 		return completedJob(hash, ns, res), nil
 	}
 	if s.shared != nil {
@@ -454,6 +498,7 @@ func (s *Service) SubmitPri(spec Spec, pri Priority) (*Job, error) {
 			// keep a local copy so repeats stay local.
 			s.cache.Put(hash, res)
 			s.metrics.incSharedHit()
+			obs.Event(ctx, "castore.hit", obs.String("hash", hash), obs.String("replica", s.name))
 			return completedJob(hash, ns, res), nil
 		}
 	}
@@ -466,9 +511,13 @@ func (s *Service) SubmitPri(spec Spec, pri Priority) (*Job, error) {
 		j.mu.Lock()
 		j.shared++
 		j.interest++
+		state := j.state
 		j.mu.Unlock()
 		s.mu.Unlock()
 		s.metrics.incDeduped()
+		obs.Event(ctx, "singleflight.attach",
+			obs.String("hash", hash), obs.String("owner_state", state.String()),
+			obs.String("replica", s.name))
 		return j, nil
 	}
 	if !s.admitLocked(pri) {
@@ -477,18 +526,28 @@ func (s *Service) SubmitPri(spec Spec, pri Priority) (*Job, error) {
 		if depth >= s.queueCap {
 			// Not a class decision: the queue is genuinely full.
 			s.metrics.incRejected()
+			obs.Event(ctx, "admission.reject", obs.String("reason", "queue_full"),
+				obs.Int("depth", int64(depth)), obs.String("replica", s.name))
 			return nil, ErrQueueFull
 		}
 		s.metrics.incShed()
+		obs.Event(ctx, "admission.reject", obs.String("reason", "shed"),
+			obs.String("class", pri.String()), obs.Int("depth", int64(depth)),
+			obs.String("replica", s.name))
 		return nil, &ShedError{Class: pri, Depth: depth, Capacity: s.queueCap}
 	}
-	j := &Job{Hash: hash, Spec: ns, svc: s, done: make(chan struct{}), interest: 1}
+	j := &Job{Hash: hash, Spec: ns, svc: s, pri: pri, done: make(chan struct{}), interest: 1}
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	j.runCtx = obs.AdoptTrace(j.ctx, ctx)
+	_, j.qspan = obs.StartSpan(ctx, "queue.wait",
+		obs.String("hash", hash), obs.String("priority", pri.String()),
+		obs.String("replica", s.name))
 	select {
 	case s.queue <- j:
 		s.inflight[hash] = j
 		s.registry[hash] = j
 		s.counts.queued++
+		s.counts.queuedBy[pri]++
 		s.mu.Unlock()
 		s.metrics.incSubmitted()
 		s.cache.RecordMiss()
@@ -499,6 +558,8 @@ func (s *Service) SubmitPri(spec Spec, pri Priority) (*Job, error) {
 		// so the rejected submission does not leak a child context (and its
 		// goroutine bookkeeping) on baseCtx until shutdown.
 		j.cancel()
+		j.qspan.SetAttr(obs.String("outcome", "queue_full"))
+		j.qspan.End()
 		s.metrics.incRejected()
 		return nil, ErrQueueFull
 	}
@@ -547,11 +608,14 @@ func (s *Service) StealQueued(id string) (Spec, bool) {
 		delete(s.registry, j.Hash)
 	}
 	s.counts.queued--
+	s.counts.queuedBy[j.pri]--
 	s.counts.stolen++
 	spec := j.Spec
 	j.mu.Unlock()
 	s.mu.Unlock()
 	j.cancel()
+	j.qspan.SetAttr(obs.String("outcome", "stolen"))
+	j.qspan.End()
 	return spec, true
 }
 
@@ -607,8 +671,11 @@ func (s *Service) cancelQueuedLocked(j *Job) {
 	close(j.done)
 	delete(s.inflight, j.Hash)
 	s.counts.queued--
+	s.counts.queuedBy[j.pri]--
 	s.counts.canceled++
 	s.retainLocked(j)
+	j.qspan.SetAttr(obs.String("outcome", "canceled"))
+	j.qspan.End()
 }
 
 // retainLocked records a terminal job for later status polls, evicting the
@@ -677,12 +744,46 @@ func (s *Service) runJob(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.counts.queued--
+	s.counts.queuedBy[j.pri]--
 	s.counts.running++
 	j.mu.Unlock()
 	s.mu.Unlock()
 
-	res, err := s.runner(j.ctx, j.Spec)
+	j.qspan.SetAttr(obs.String("outcome", "run"))
+	j.qspan.End()
+
+	// tier is the requested fidelity ("auto" when unset) — the decided tier
+	// lands on the job.run span after the runner returns.
+	tier := j.Spec.Fidelity
+	if tier == "" {
+		tier = "auto"
+	}
+	runCtx := j.runCtx
+	if runCtx == nil { // jobs constructed outside SubmitCtx (tests)
+		runCtx = j.ctx
+	}
+	runCtx, rspan := obs.StartSpan(runCtx, "job.run",
+		obs.String("hash", j.Hash), obs.String("workflow", j.Spec.Workflow),
+		obs.String("replica", s.name))
+
+	var res *Result
+	var err error
+	// pprof labels attribute CPU samples in the -pprof profiles to the
+	// request being served; they are invisible to the runner itself.
+	pprof.Do(runCtx, pprof.Labels(
+		"hash", j.Hash, "workflow", j.Spec.Workflow,
+		"tier", tier, "replica", s.name,
+	), func(ctx context.Context) {
+		res, err = s.runner(ctx, j.Spec)
+	})
 	elapsed := time.Since(j.started)
+
+	if err != nil {
+		rspan.SetAttr(obs.String("error", err.Error()))
+	} else if res != nil && res.Tier != "" {
+		rspan.SetAttr(obs.String("tier", res.Tier))
+	}
+	rspan.End()
 
 	s.mu.Lock()
 	j.mu.Lock()
@@ -830,4 +931,19 @@ func (s *Service) Loads() (queued, running int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counts.queued, s.counts.running
+}
+
+// Name returns the service's trace/pprof identity.
+func (s *Service) Name() string { return s.name }
+
+// QueuedByClass returns the live queued counts per priority class, keyed by
+// Priority.String() — the /replicas per-class queue view.
+func (s *Service) QueuedByClass() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return map[string]int{
+		PriorityInteractive.String(): s.counts.queuedBy[PriorityInteractive],
+		PriorityNormal.String():      s.counts.queuedBy[PriorityNormal],
+		PriorityBatch.String():       s.counts.queuedBy[PriorityBatch],
+	}
 }

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
+
+	"repro/internal/obs"
 )
 
 // Server exposes a Backend over HTTP:
@@ -30,27 +33,42 @@ import (
 type Server struct {
 	backend Backend
 	mux     *http.ServeMux
+	obs     *ServingObs
 }
 
 // replicaStatuser is the optional Backend extension that enables the
 // /replicas route (implemented by the replica coordinator).
 type replicaStatuser interface{ ReplicaStatus() any }
 
-// NewServer wires the routes over a single service.
-func NewServer(svc *Service) *Server { return NewBackendServer(AsBackend(svc)) }
+// NewServer wires the routes over a single service. An optional ServingObs
+// enables request tracing, the flight recorder, RED series and SLO routes.
+func NewServer(svc *Service, so ...*ServingObs) *Server {
+	return NewBackendServer(AsBackend(svc), so...)
+}
 
 // NewBackendServer wires the routes over any Backend — one service or a
-// replica coordinator fronting several.
-func NewBackendServer(b Backend) *Server {
+// replica coordinator fronting several. An optional ServingObs traces the
+// scenario routes (submit/status/result/cancel), records every request
+// into the flight recorder at /debug/requests, and serves SLO burn at
+// /slo; without it the server behaves exactly as before.
+func NewBackendServer(b Backend, so ...*ServingObs) *Server {
 	s := &Server{backend: b, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /scenarios", s.handleSubmit)
-	s.mux.HandleFunc("GET /scenarios/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /scenarios/{id}/result", s.handleResult)
-	s.mux.HandleFunc("DELETE /scenarios/{id}", s.handleCancel)
+	if len(so) > 0 {
+		s.obs = so[0]
+	}
+	s.mux.HandleFunc("POST /scenarios", s.obs.Middleware(s.handleSubmit))
+	s.mux.HandleFunc("GET /scenarios/{id}", s.obs.Middleware(s.handleStatus))
+	s.mux.HandleFunc("GET /scenarios/{id}/result", s.obs.Middleware(s.handleResult))
+	s.mux.HandleFunc("DELETE /scenarios/{id}", s.obs.Middleware(s.handleCancel))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	if s.obs != nil {
+		s.mux.HandleFunc("GET /debug/requests", s.obs.handleDebugList)
+		s.mux.HandleFunc("GET /debug/requests/{id}", s.obs.handleDebugGet)
+		s.mux.HandleFunc("GET /slo", s.obs.handleSLO)
+	}
 	if rs, ok := b.(replicaStatuser); ok {
 		s.mux.HandleFunc("GET /replicas", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, http.StatusOK, rs.ReplicaStatus())
@@ -105,7 +123,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	job, err := s.backend.Submit(spec, pri)
+	rt := obs.RequestTraceFrom(r.Context())
+	if rt != nil {
+		rt.SetRequest(strings.ToLower(spec.Workflow), pri.String())
+	}
+	job, err := s.backend.Submit(r.Context(), spec, pri)
 	var shedErr *ShedError
 	switch {
 	case err == nil:
@@ -131,6 +153,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if rt != nil {
+		rt.Annotate("hash", job.ID())
+	}
+
 	wait := r.URL.Query().Get("wait")
 	if wait == "" || wait == "0" || wait == "false" {
 		job.Pin()
@@ -154,6 +180,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, code, err.Error())
 		return
+	}
+	if rt != nil {
+		if res.Tier != "" {
+			rt.Annotate("tier", res.Tier)
+			if res.Tier == "abm" {
+				// The route decision may have fired on another request's
+				// trace (single-flight): flag escalation from the result.
+				rt.MarkEscalated()
+			}
+		}
+		if res.Hash != "" {
+			rt.Annotate("hash", res.Hash)
+		}
 	}
 	writeJSON(w, http.StatusOK, res)
 }
